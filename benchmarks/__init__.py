@@ -1,0 +1,1 @@
+"""Benchmark package: one bench per paper table/figure (see DESIGN.md)."""

@@ -1,0 +1,24 @@
+"""A2 — importance-pruning sweep (ours).
+
+Accuracy at 5% tolerance as a function of how many top-importance static
+features the tree keeps — the plateau the paper's static-opt sits on.
+"""
+
+from repro.experiments.ablation import run_pruning_sweep
+
+from benchmarks.conftest import write_artifact
+
+
+def test_pruning_sweep(dataset, benchmark):
+    sweep = benchmark.pedantic(
+        run_pruning_sweep, args=(dataset,),
+        kwargs={"repeats": 3, "ks": (1, 2, 3, 4, 6, 8, 12, 16)},
+        rounds=1, iterations=1)
+    write_artifact("ablation_pruning.txt", sweep.render())
+
+    ks = [k for k, _ in sweep.points]
+    accs = [acc for _, acc in sweep.points]
+    assert ks == sorted(ks)
+    # more informative features never catastrophically hurt: the best
+    # multi-feature point beats the single-feature tree
+    assert max(accs[1:]) >= accs[0] - 0.02

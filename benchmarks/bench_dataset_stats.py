@@ -1,0 +1,21 @@
+"""E4 — §IV.B dataset statistics: 448 samples, class-8 plurality.
+
+Regenerates the class-balance table and benchmarks the stats pass.
+"""
+
+from repro.experiments.dataset_stats import run_dataset_stats
+
+from benchmarks.conftest import write_artifact
+
+
+def test_dataset_stats_regeneration(dataset, benchmark):
+    stats = benchmark(run_dataset_stats, dataset)
+    write_artifact("dataset_stats.txt", stats.render())
+
+    if dataset.profile == "paper":
+        assert stats.n_samples == 448
+    # paper shape: class 8 holds the plurality of the dataset
+    assert stats.majority_label == 8
+    assert stats.class_share(8) > 20.0
+    # every class is populated
+    assert all(count > 0 for count in stats.class_counts.values())

@@ -1,0 +1,38 @@
+"""E1 — Figure 2 (left): accuracy vs energy tolerance.
+
+Regenerates the five series of the paper's left panel (static-agg,
+static-opt, dynamic, dynamic-opt, always-8) and benchmarks the cost of
+one cross-validated evaluation of the static-agg tree.
+"""
+
+from repro.features.sets import feature_names
+from repro.ml.metrics import mean_tolerance_curve
+from repro.ml.model_selection import cross_val_predict
+from repro.ml.tree import DecisionTreeClassifier
+
+from benchmarks.conftest import write_artifact
+
+
+def test_figure2_left_regeneration(dataset, figure2_left, benchmark):
+    write_artifact("figure2_left.txt", figure2_left.render())
+
+    # paper-shape checks: learned models dominate always-8 and improve
+    # with tolerance
+    always8 = figure2_left.series["always-8"]
+    for name in ("static-agg", "static-opt", "dynamic", "dynamic-opt"):
+        curve = figure2_left.series[name]
+        assert curve[0] >= always8[0] - 1e-9
+        assert curve[-1] >= curve[0]
+
+    X = dataset.matrix(feature_names("static-agg"))
+    y = dataset.labels
+
+    def one_cv_evaluation():
+        preds, _ = cross_val_predict(
+            lambda: DecisionTreeClassifier(random_state=0), X, y,
+            n_splits=10, seed=0)
+        return mean_tolerance_curve(preds, dataset.energy_matrix,
+                                    range(0, 9), dataset.team_sizes)
+
+    curve = benchmark(one_cv_evaluation)
+    assert len(curve) == 9

@@ -1,0 +1,27 @@
+"""E2 — Figure 2 (right): static feature-set exploration.
+
+Regenerates the four static series (static-raw+mca, static-agg,
+static-agg+mca, static-opt) and benchmarks a tree fit on the richest
+static set.
+"""
+
+from repro.features.sets import feature_names
+from repro.ml.tree import DecisionTreeClassifier
+
+from benchmarks.conftest import write_artifact
+
+
+def test_figure2_right_regeneration(dataset, figure2_right, benchmark):
+    write_artifact("figure2_right.txt", figure2_right.render())
+
+    for curve in figure2_right.series.values():
+        assert curve == sorted(curve)  # tolerance-monotone
+
+    X = dataset.matrix(feature_names("static-agg+mca"))
+    y = dataset.labels
+
+    def fit_static_tree():
+        return DecisionTreeClassifier(random_state=0).fit(X, y)
+
+    tree = benchmark(fit_static_tree)
+    assert tree.n_leaves() > 1

@@ -1,0 +1,49 @@
+"""E7 — headline scalar claims of the paper.
+
+Computed from the (session-cached) Figure-2 left panel: static accuracy
+levels at 0/5/8% tolerance, the static-dynamic gap, and dominance over
+the always-8 policy.  Benchmarks a single tolerance-curve evaluation.
+"""
+
+import numpy as np
+
+from repro.experiments.headline import HeadlineResult
+from repro.ml.metrics import mean_tolerance_curve
+
+from benchmarks.conftest import write_artifact
+
+
+def test_headline_numbers(dataset, figure2_left, benchmark):
+    fig = figure2_left
+    gaps = [d - s for d, s in zip(fig.series["dynamic"],
+                                  fig.series["static-opt"])]
+    baseline = fig.series["always-8"]
+    beats = all(
+        fig.series[name][i] >= baseline[i] - 1e-9
+        for name in ("static-agg", "static-opt", "dynamic", "dynamic-opt")
+        for i in range(len(baseline)))
+    result = HeadlineResult(
+        static_agg_at_0=fig.accuracy_at("static-agg", 0),
+        static_opt_at_0=fig.accuracy_at("static-opt", 0),
+        static_opt_at_5=fig.accuracy_at("static-opt", 5),
+        static_opt_at_8=fig.accuracy_at("static-opt", 8),
+        dynamic_at_0=fig.accuracy_at("dynamic", 0),
+        max_static_dynamic_gap=max(gaps),
+        learned_beats_always8=beats,
+        figure2=fig,
+    )
+    write_artifact("headline_numbers.txt", result.render())
+
+    # shape assertions (generous: our substrate is a simulator)
+    assert result.static_opt_at_0 > 0.35
+    assert result.static_opt_at_5 > result.static_opt_at_0
+    assert result.max_static_dynamic_gap < 0.20
+
+    preds = np.full(len(dataset), 8, dtype=int)
+
+    def tolerance_eval():
+        return mean_tolerance_curve(preds, dataset.energy_matrix,
+                                    range(0, 9), dataset.team_sizes)
+
+    curve = benchmark(tolerance_eval)
+    assert len(curve) == 9

@@ -1,0 +1,27 @@
+"""P1a — simulator performance: simulated cycles per host second.
+
+Not a paper artefact; tracks the engine's throughput on a contended and
+an uncontended workload so regressions in the hot loop are visible.
+"""
+
+from repro.dataset.registry import get_kernel_spec
+from repro.ir.types import DType
+from repro.sim.engine import simulate
+
+from benchmarks.conftest import write_artifact
+
+
+def test_simulator_throughput_scalable(benchmark):
+    kernel = get_kernel_spec("gemm").build(DType.INT32, 2048)
+    counters = benchmark(simulate, kernel, 8)
+    write_artifact(
+        "perf_simulator.txt",
+        f"gemm int32 2048B @8 cores: {counters.cycles} cycles, "
+        f"{counters.total_instructions} instructions per run")
+    assert counters.cycles > 0
+
+
+def test_simulator_throughput_contended(benchmark):
+    kernel = get_kernel_spec("bank_hammer").build(DType.INT32, 2048)
+    counters = benchmark(simulate, kernel, 8)
+    assert counters.total_l1_conflicts > 0

@@ -1,0 +1,34 @@
+"""E5 — Table I: the per-component energy model (input artefact).
+
+Regenerates the table from the default EnergyModel (a consistency check
+that the implementation carries the published numbers) and benchmarks
+the energy integration over one simulation's counters.
+"""
+
+from repro.dataset.registry import get_kernel_spec
+from repro.energy.accounting import compute_energy
+from repro.energy.model import EnergyModel
+from repro.energy.report import format_model_table
+from repro.ir.types import DType
+from repro.sim.engine import simulate
+
+from benchmarks.conftest import write_artifact
+
+# (component, region, fJ) spot checks straight from the paper.
+_PAPER_SPOT_CHECKS = [
+    ("pe", "nop", 1212.0), ("pe", "alu", 2558.0), ("pe", "l1", 3242.0),
+    ("fpu", "operative", 299.0), ("icache", "refill", 5932.0),
+]
+
+
+def test_table1_regeneration(benchmark):
+    model = EnergyModel.paper_table1()
+    write_artifact("table1_energy_model.txt", format_model_table(model))
+
+    for group, field, expected in _PAPER_SPOT_CHECKS:
+        assert getattr(getattr(model, group), field) == expected
+
+    counters = simulate(get_kernel_spec("gemm").build(DType.FP32, 2048), 8)
+
+    breakdown = benchmark(compute_energy, counters, model)
+    assert breakdown.total > 0

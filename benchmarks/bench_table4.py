@@ -1,0 +1,36 @@
+"""E3 — Table IV: most relevant dynamic and static features.
+
+Regenerates both halves of the table (gini importances averaged over the
+repeated stratified CV) and benchmarks one importance-producing CV pass
+over the 80-dimensional dynamic feature set.
+"""
+
+from repro.experiments.table4 import run_table4
+from repro.features.sets import feature_names
+from repro.ml.model_selection import cross_val_predict
+from repro.ml.tree import DecisionTreeClassifier
+
+from benchmarks.conftest import BENCH_REPEATS, write_artifact
+
+
+def test_table4_regeneration(dataset, benchmark):
+    result = run_table4(dataset, repeats=BENCH_REPEATS)
+    write_artifact("table4.txt", result.render())
+
+    # paper-shape check: clock-gating (PE_sleep) features are the top
+    # dynamic discriminators family-wise
+    top_dynamic_metrics = [label for label, _, _ in result.dynamic_rows[:4]]
+    assert any(metric in ("PE_sleep", "PE_idle")
+               for metric in top_dynamic_metrics)
+
+    X = dataset.matrix(feature_names("dynamic"))
+    y = dataset.labels
+
+    def one_importance_pass():
+        _, importances = cross_val_predict(
+            lambda: DecisionTreeClassifier(random_state=0), X, y,
+            n_splits=10, seed=0)
+        return importances
+
+    importances = benchmark(one_importance_pass)
+    assert importances.shape == (80,)

@@ -1,0 +1,56 @@
+"""Benchmark fixtures.
+
+The ``dataset`` fixture loads (or builds) the labelled dataset for the
+active profile — ``paper`` by default, override with
+``REPRO_PROFILE=quick`` for faster cold runs.  Heavy experiment results
+are computed once per session and shared across benches.
+
+Each bench regenerates one paper artefact, prints it, and writes it to
+``results/<artefact>.txt`` so the numbers are inspectable after the run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.runner import load_dataset
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "results")
+
+#: CV repeats used by the benches (override with REPRO_CV_REPEATS).
+BENCH_REPEATS = max(1, int(os.environ.get("REPRO_CV_REPEATS", "5")))
+
+
+def write_artifact(name: str, text: str) -> None:
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    print(f"\n{text}\n[written to {os.path.relpath(path)}]")
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    return load_dataset()
+
+
+_FIGURE2_CACHE: dict = {}
+
+
+@pytest.fixture(scope="session")
+def figure2_left(dataset):
+    if "left" not in _FIGURE2_CACHE:
+        _FIGURE2_CACHE["left"] = run_figure2(dataset, "left",
+                                             repeats=BENCH_REPEATS)
+    return _FIGURE2_CACHE["left"]
+
+
+@pytest.fixture(scope="session")
+def figure2_right(dataset):
+    if "right" not in _FIGURE2_CACHE:
+        _FIGURE2_CACHE["right"] = run_figure2(dataset, "right",
+                                              repeats=BENCH_REPEATS)
+    return _FIGURE2_CACHE["right"]

@@ -1,0 +1,50 @@
+"""Energy exploration: how code patterns move the optimal core count.
+
+Run with::
+
+    python examples/energy_exploration.py
+
+Compares pairs of kernels from the Custom suite that isolate one
+mechanism each (TCDM bank conflicts, FPU sharing, lock serialisation,
+fork/join overhead) and prints where the energy optimum lands — the
+trade-offs §III of the paper builds its dataset around.
+"""
+
+from repro.dataset.registry import get_kernel_spec
+from repro.ir.types import DType
+from repro.sim.results import minimum_energy_label, sweep_cores
+
+PAIRS = [
+    ("TCDM pressure", [("bank_friendly", DType.INT32),
+                       ("bank_hammer", DType.INT32)]),
+    ("FPU sharing", [("fpu_saturate", DType.INT32),
+                     ("fpu_saturate", DType.FP32)]),
+    ("synchronisation", [("stream_triad", DType.INT32),
+                         ("critical_update", DType.INT32),
+                         ("barrier_storm", DType.INT32)]),
+    ("serial fraction", [("compute_dense", DType.INT32),
+                         ("seq_then_par", DType.INT32)]),
+    ("L2 behaviour", [("l2_stream", DType.FP32),
+                      ("l2_pingpong", DType.FP32)]),
+]
+
+SIZE = 4096
+
+
+def main() -> None:
+    for topic, kernels in PAIRS:
+        print(f"=== {topic} " + "=" * max(0, 56 - len(topic)))
+        for name, dtype in kernels:
+            kernel = get_kernel_spec(name).build(dtype, SIZE)
+            results = sweep_cores(kernel)
+            energies = [r.total_energy_fj for r in results]
+            best = minimum_energy_label(results)
+            norm = min(energies)
+            curve = " ".join(f"{e / norm:5.2f}" for e in energies)
+            print(f"{name:>18} ({dtype.value:5s})  E/Emin per core "
+                  f"1..8: {curve}   -> optimum {best}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

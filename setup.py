@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The offline environment ships setuptools but not the ``wheel`` package,
+so PEP 517/660 editable installs (which build a wheel) cannot run.  This
+shim keeps the legacy ``pip install -e .`` / ``setup.py develop`` path
+working; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "Source Code Classification for Energy
+Efficiency in Parallel Ultra Low-Power Microcontrollers" (DATE 2021).
+
+Public API tour:
+
+* build kernels with :mod:`repro.ir` (or take them from
+  :mod:`repro.dataset`);
+* simulate them on the PULP cluster model with :func:`repro.sim.simulate`
+  / :func:`repro.sim.sweep_cores`;
+* account energy with :mod:`repro.energy`;
+* extract paper features with :mod:`repro.features`;
+* train/evaluate the classifier with :mod:`repro.ml`;
+* regenerate the paper's tables and figures with :mod:`repro.experiments`.
+"""
+
+__version__ = "1.0.0"
+
+from repro.energy import EnergyModel, compute_energy
+from repro.platform import ClusterConfig
+from repro.sim import simulate, sweep_cores
+
+__all__ = [
+    "__version__",
+    "EnergyModel",
+    "compute_energy",
+    "ClusterConfig",
+    "simulate",
+    "sweep_cores",
+]

@@ -1,0 +1,125 @@
+"""Command-line interface.
+
+Examples::
+
+    repro build-dataset --profile paper
+    repro dataset-stats
+    repro figure2 --panel left
+    repro table4
+    repro headline
+    repro simulate gemm --dtype fp32 --size 2048
+    repro mca gemm --dtype fp32 --size 2048
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.dataset.build import build_dataset
+from repro.dataset.registry import all_kernel_specs, get_kernel_spec
+from repro.energy.model import EnergyModel
+from repro.energy.report import format_breakdown, format_model_table
+from repro.experiments.dataset_stats import run_dataset_stats
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.headline import run_headline
+from repro.experiments.runner import active_profile
+from repro.experiments.table4 import run_table4
+from repro.features.mca import mca_report
+from repro.ir.types import parse_dtype
+from repro.sim.results import minimum_energy_label, sweep_cores
+
+
+def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("kernel", help="kernel name (see list-kernels)")
+    parser.add_argument("--dtype", default="int32",
+                        help="int32 or fp32 (default int32)")
+    parser.add_argument("--size", type=int, default=2048,
+                        help="payload bytes (default 2048)")
+
+
+def _build_kernel(args):
+    spec = get_kernel_spec(args.kernel)
+    return spec.build(parse_dtype(args.dtype), args.size)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Source Code Classification for "
+                    "Energy Efficiency in Parallel Ultra Low-Power "
+                    "Microcontrollers' (DATE 2021)")
+    parser.add_argument("--profile", default=None,
+                        help="dataset profile: paper, quick or unit "
+                             "(default: $REPRO_PROFILE or 'paper')")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-kernels", help="list the 59 dataset kernels")
+    sub.add_parser("energy-model", help="print the Table-I energy model")
+    sub.add_parser("build-dataset", help="run the labelling campaign")
+    sub.add_parser("dataset-stats", help="class balance (paper §IV.B)")
+    sub.add_parser("table4", help="most relevant features (Table IV)")
+    sub.add_parser("headline", help="headline accuracy numbers")
+
+    fig = sub.add_parser("figure2", help="accuracy vs tolerance curves")
+    fig.add_argument("--panel", choices=("left", "right"), default="left")
+
+    simp = sub.add_parser("simulate",
+                          help="sweep team sizes for one kernel")
+    _add_kernel_args(simp)
+
+    mca = sub.add_parser("mca", help="LLVM-MCA-style report for a kernel")
+    _add_kernel_args(mca)
+
+    args = parser.parse_args(argv)
+    profile = args.profile or active_profile()
+
+    if args.command == "list-kernels":
+        for spec in all_kernel_specs():
+            dtypes = "/".join(d.value for d in spec.dtypes)
+            print(f"{spec.suite:10s} {spec.name:22s} [{dtypes}]")
+        return 0
+
+    if args.command == "energy-model":
+        print(format_model_table(EnergyModel.paper_table1()))
+        return 0
+
+    if args.command == "simulate":
+        kernel = _build_kernel(args)
+        results = sweep_cores(kernel)
+        for res in results:
+            marker = " <- minimum" if (res.team_size ==
+                                       minimum_energy_label(results)) else ""
+            print(f"cores={res.team_size}  cycles={res.cycles:>10d}  "
+                  f"energy={res.total_energy_fj / 1e6:>12.3f} nJ{marker}")
+        print()
+        best = min(results, key=lambda r: r.total_energy_fj)
+        print(format_breakdown(best.energy,
+                               f"({kernel.name}, {best.team_size} cores)"))
+        return 0
+
+    if args.command == "mca":
+        print(mca_report(_build_kernel(args)))
+        return 0
+
+    # dataset-backed commands
+    def progress(msg: str) -> None:
+        print(msg, file=sys.stderr)
+
+    dataset = build_dataset(profile, progress=progress)
+    if args.command == "build-dataset":
+        print(f"built {len(dataset)} samples (profile {profile!r})")
+        print(run_dataset_stats(dataset).render())
+    elif args.command == "dataset-stats":
+        print(run_dataset_stats(dataset).render())
+    elif args.command == "figure2":
+        print(run_figure2(dataset, args.panel).render())
+    elif args.command == "table4":
+        print(run_table4(dataset).render())
+    elif args.command == "headline":
+        print(run_headline(dataset).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

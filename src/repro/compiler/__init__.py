@@ -1,0 +1,21 @@
+"""Lowering from kernel IR to per-core instruction programs.
+
+The compiler plays the role of the PULP GCC/OpenMP toolchain in the
+paper's flow: it distributes ``parallel for`` iterations over the team
+with OpenMP ``schedule(static)`` chunking, inserts the runtime's
+fork/join instruction overhead and the implicit region barriers, resolves
+affine array indices to TCDM/L2 bank numbers through the memory map, and
+emits one instruction stream per core.
+
+Two interchangeable backends exist:
+
+* :mod:`repro.compiler.codegen` compiles each stream to Python source
+  (executed once) — the fast path used by the simulator;
+* :mod:`repro.compiler.interp` interprets the IR directly — the slow
+  reference used to differentially test the code generator.
+"""
+
+from repro.compiler.lowering import LoweredProgram, lower_kernel
+from repro.compiler.schedule import static_chunks
+
+__all__ = ["LoweredProgram", "lower_kernel", "static_chunks"]

@@ -1,0 +1,235 @@
+"""Python-source backend: compile a loop body to a generator function.
+
+The emitted source is a plain nested-``for`` generator that yields
+``(opcode, arg)`` tuples; loop variables are local integers and bank
+numbers are computed inline, so iterating the stream costs one generator
+resumption per instruction — the cheapest portable representation for a
+simulator that consumes millions of instructions per run.
+
+Conventions (shared with :mod:`repro.compiler.interp` and the static
+feature extractors):
+
+* every executed loop iteration costs one induction ``ALU`` op and one
+  taken-branch ``JMP``; entering a loop costs two setup ``ALU`` ops;
+* runs of adjacent constant-count ``ALU``/``NOP`` ops are coalesced into
+  one macro instruction (legal on an in-order single-issue core);
+* a ``Load``/``Store`` is a single instruction (RI5CY's post-increment
+  addressing covers the affine index updates);
+* a :class:`Critical` section is a lock probe (a TCDM read on the lock's
+  bank), the body, and a releasing store.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import LoweringError
+from repro.ir.nodes import (
+    Compute,
+    Critical,
+    DmaCopy,
+    Load,
+    Loop,
+    OpKind,
+    Store,
+)
+from repro.isa.opcodes import (
+    OP_ALU,
+    OP_DIV,
+    OP_DMA,
+    OP_FDIV,
+    OP_FP,
+    OP_JMP,
+    OP_LD,
+    OP_LD2,
+    OP_LOCK,
+    OP_NOP,
+    OP_ST,
+    OP_ST2,
+    OP_UNLOCK,
+    pack_lock,
+)
+from repro.platform.memory import MemoryMap
+
+_KIND_TO_OP = {
+    OpKind.ALU: OP_ALU,
+    OpKind.FP: OP_FP,
+    OpKind.DIV: OP_DIV,
+    OpKind.FPDIV: OP_FDIV,
+    OpKind.JUMP: OP_JMP,
+    OpKind.NOP: OP_NOP,
+}
+
+#: op kinds whose constant-count macros may be merged when adjacent.
+_COALESCIBLE = (OP_ALU, OP_NOP)
+
+#: instruction sites charged for a Compute macro when estimating code
+#: size (large macros are loops in real code, not straight-line bodies).
+_MAX_MACRO_SITES = 8
+
+
+def body_sites(body: tuple) -> int:
+    """Static instruction-site estimate of a body tree.
+
+    Used (by both backends, so their counters agree exactly) to charge
+    I-cache cold refills when a segment first executes.
+    """
+    sites = 0
+    for stmt in body:
+        if isinstance(stmt, Compute):
+            sites += min(stmt.count, _MAX_MACRO_SITES)
+        elif isinstance(stmt, (Load, Store, DmaCopy)):
+            sites += 1
+        elif isinstance(stmt, Loop):
+            sites += 3 + body_sites(stmt.body)  # setup, induction, branch
+        elif isinstance(stmt, Critical):
+            sites += 2 + body_sites(stmt.body)  # lock + unlock
+    return sites
+
+
+def segment_sites(body: tuple, loop_var: str | None,
+                  prologue_alu: int) -> int:
+    """Site estimate of a whole run segment."""
+    sites = min(prologue_alu, _MAX_MACRO_SITES) if prologue_alu else 0
+    if loop_var is not None:
+        sites += 2  # chunk-loop induction and back branch
+    sites += body_sites(body)
+    return max(1, sites)
+
+
+class _Emitter:
+    """Accumulates generated source lines with ALU/NOP coalescing."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.sites = 0
+        self._pending: tuple[int, int, int] | None = None  # op, count, indent
+
+    def _flush(self) -> None:
+        if self._pending is not None:
+            op, count, indent = self._pending
+            self.lines.append(f"{'    ' * indent}yield ({op}, {count})")
+            self.sites += min(count, _MAX_MACRO_SITES)
+            self._pending = None
+
+    def constant(self, op: int, count: int, indent: int) -> None:
+        """Emit a constant-arg instruction, merging coalescible runs."""
+        if (self._pending is not None and op in _COALESCIBLE
+                and self._pending[0] == op and self._pending[2] == indent):
+            self._pending = (op, self._pending[1] + count, indent)
+            return
+        self._flush()
+        if op in _COALESCIBLE:
+            self._pending = (op, count, indent)
+        else:
+            self.lines.append(f"{'    ' * indent}yield ({op}, {count})")
+            self.sites += min(count, _MAX_MACRO_SITES)
+
+    def dynamic(self, op: int, arg_src: str, indent: int) -> None:
+        """Emit an instruction whose argument is a runtime expression."""
+        self._flush()
+        self.lines.append(f"{'    ' * indent}yield ({op}, {arg_src})")
+        self.sites += 1
+
+    def raw(self, text: str, indent: int) -> None:
+        self._flush()
+        self.lines.append(f"{'    ' * indent}{text}")
+
+    def finish(self) -> list[str]:
+        self._flush()
+        return self.lines
+
+
+def _emit_body(emitter: _Emitter, body: tuple, memmap: MemoryMap,
+               n_l1_banks: int, n_l2_banks: int, indent: int) -> None:
+    for stmt in body:
+        if isinstance(stmt, Compute):
+            emitter.constant(_KIND_TO_OP[stmt.kind], stmt.count, indent)
+        elif isinstance(stmt, (Load, Store)):
+            placement = memmap.placement(stmt.array)
+            if placement.space == "l1":
+                op = OP_LD if isinstance(stmt, Load) else OP_ST
+                banks = n_l1_banks
+            else:
+                op = OP_LD2 if isinstance(stmt, Load) else OP_ST2
+                banks = n_l2_banks
+            index = stmt.index
+            if index.is_constant:
+                bank = (placement.base_word + index.const) % banks
+                emitter.dynamic(op, str(bank), indent)
+            else:
+                expr = f"({placement.base_word}+{index.to_python()})%{banks}"
+                emitter.dynamic(op, expr, indent)
+        elif isinstance(stmt, Loop):
+            emitter.constant(OP_ALU, 2, indent)  # loop setup
+            lo = stmt.lower.to_python()
+            hi = stmt.upper.to_python()
+            emitter.raw(f"for {stmt.var} in range({lo}, {hi}):", indent)
+            emitter.constant(OP_ALU, 1, indent + 1)  # induction
+            _emit_body(emitter, stmt.body, memmap, n_l1_banks, n_l2_banks,
+                       indent + 1)
+            emitter.constant(OP_JMP, 1, indent + 1)  # back branch
+        elif isinstance(stmt, Critical):
+            packed = pack_lock(_lock_index(stmt.name),
+                               memmap.lock_bank(stmt.name))
+            emitter.dynamic(OP_LOCK, str(packed), indent)
+            _emit_body(emitter, stmt.body, memmap, n_l1_banks, n_l2_banks,
+                       indent)
+            emitter.dynamic(OP_UNLOCK, str(packed), indent)
+        elif isinstance(stmt, DmaCopy):
+            emitter.dynamic(OP_DMA, str(stmt.words), indent)
+        else:
+            raise LoweringError(f"cannot lower {type(stmt).__name__} "
+                                f"inside a loop body")
+
+
+_LOCK_IDS: dict[str, int] = {}
+
+
+def _lock_index(name: str) -> int:
+    """Stable small integer id per critical-section name."""
+    if name not in _LOCK_IDS:
+        _LOCK_IDS[name] = len(_LOCK_IDS)
+    return _LOCK_IDS[name]
+
+
+def compile_segment(body: tuple, memmap: MemoryMap, n_l1_banks: int,
+                    n_l2_banks: int, loop_var: str | None = None,
+                    free_vars: tuple[str, ...] = (),
+                    prologue_alu: int = 0,
+                    ) -> tuple[Callable, int]:
+    """Compile one run segment to a *parameterised* generator function.
+
+    The generated generator takes ``(__lo, __hi, *free_vars)``: the
+    chunk bounds of the per-core work-share loop (ignored when
+    *loop_var* is None) and the values of enclosing sequential-for
+    variables.  Compiling once and binding the parameters per instance
+    keeps the compilation cost independent of trip counts.
+
+    When *loop_var* is given, the body is wrapped in the chunk loop of a
+    parallel region (with the usual induction and back-branch
+    overhead).  *prologue_alu* prepends runtime-overhead integer ops.
+    Returns ``(generator_fn, code_sites)`` where ``code_sites``
+    estimates static instruction sites for I-cache refill accounting.
+    """
+    params = ["__lo", "__hi", *free_vars]
+    emitter = _Emitter()
+    emitter.raw(f"def __segment__({', '.join(params)}):", 0)
+    if prologue_alu > 0:
+        emitter.constant(OP_ALU, prologue_alu, 1)
+    if loop_var is not None:
+        emitter.raw(f"for {loop_var} in range(__lo, __hi):", 1)
+        emitter.constant(OP_ALU, 1, 2)
+        _emit_body(emitter, body, memmap, n_l1_banks, n_l2_banks, 2)
+        emitter.constant(OP_JMP, 1, 2)
+    else:
+        _emit_body(emitter, body, memmap, n_l1_banks, n_l2_banks, 1)
+    lines = emitter.finish()
+    has_yield = any("yield" in line for line in lines)
+    if not has_yield:  # ensure the function is a generator
+        lines.append("    yield from ()")
+    source = "\n".join(lines)
+    namespace: dict = {}
+    exec(compile(source, "<repro-codegen>", "exec"), namespace)  # noqa: S102
+    return namespace["__segment__"], segment_sites(body, loop_var,
+                                                   prologue_alu)

@@ -1,0 +1,106 @@
+"""Reference interpreter backend.
+
+Walks the IR directly and yields the *expanded* instruction stream (one
+tuple per architectural instruction, no macro coalescing).  It is an
+order of magnitude slower than the codegen backend and exists to
+differentially test it: expanding the codegen stream must give exactly
+this stream.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import LoweringError
+from repro.ir.nodes import Compute, Critical, DmaCopy, Load, Loop, Store
+from repro.isa.opcodes import (
+    OP_ALU,
+    OP_DMA,
+    OP_JMP,
+    OP_LD,
+    OP_LD2,
+    OP_LOCK,
+    OP_ST,
+    OP_ST2,
+    OP_UNLOCK,
+    pack_lock,
+)
+from repro.compiler.codegen import _KIND_TO_OP, _lock_index
+from repro.platform.memory import MemoryMap
+
+
+def interpret_segment(body: tuple, memmap: MemoryMap, n_l1_banks: int,
+                      n_l2_banks: int, loop_var: str | None = None,
+                      loop_range: tuple[int, int] | None = None,
+                      prologue_alu: int = 0,
+                      env: dict[str, int] | None = None,
+                      ) -> Iterator[tuple[int, int]]:
+    """Yield the expanded instruction stream of one run segment.
+
+    *env* binds enclosing sequential-for variables referenced by the
+    body's index expressions and bounds.
+    """
+    env = dict(env) if env else {}
+    for _ in range(prologue_alu):
+        yield (OP_ALU, 1)
+    if loop_var is not None:
+        lo, hi = loop_range
+        for value in range(lo, hi):
+            env[loop_var] = value
+            yield (OP_ALU, 1)
+            yield from _walk(body, env, memmap, n_l1_banks, n_l2_banks)
+            yield (OP_JMP, 1)
+    else:
+        yield from _walk(body, env, memmap, n_l1_banks, n_l2_banks)
+
+
+def _walk(body: tuple, env: dict[str, int], memmap: MemoryMap,
+          n_l1_banks: int, n_l2_banks: int) -> Iterator[tuple[int, int]]:
+    for stmt in body:
+        if isinstance(stmt, Compute):
+            op = _KIND_TO_OP[stmt.kind]
+            for _ in range(stmt.count):
+                yield (op, 1)
+        elif isinstance(stmt, (Load, Store)):
+            placement = memmap.placement(stmt.array)
+            index = stmt.index.evaluate(env)
+            if placement.space == "l1":
+                op = OP_LD if isinstance(stmt, Load) else OP_ST
+                yield (op, (placement.base_word + index) % n_l1_banks)
+            else:
+                op = OP_LD2 if isinstance(stmt, Load) else OP_ST2
+                yield (op, (placement.base_word + index) % n_l2_banks)
+        elif isinstance(stmt, Loop):
+            yield (OP_ALU, 1)
+            yield (OP_ALU, 1)
+            lo = stmt.lower.evaluate(env)
+            hi = stmt.upper.evaluate(env)
+            for value in range(lo, hi):
+                env[stmt.var] = value
+                yield (OP_ALU, 1)
+                yield from _walk(stmt.body, env, memmap, n_l1_banks,
+                                 n_l2_banks)
+                yield (OP_JMP, 1)
+            env.pop(stmt.var, None)
+        elif isinstance(stmt, Critical):
+            packed = pack_lock(_lock_index(stmt.name),
+                               memmap.lock_bank(stmt.name))
+            yield (OP_LOCK, packed)
+            yield from _walk(stmt.body, env, memmap, n_l1_banks, n_l2_banks)
+            yield (OP_UNLOCK, packed)
+        elif isinstance(stmt, DmaCopy):
+            yield (OP_DMA, stmt.words)
+        else:
+            raise LoweringError(f"cannot interpret {type(stmt).__name__} "
+                                f"inside a loop body")
+
+
+def expand_stream(stream) -> Iterator[tuple[int, int]]:
+    """Expand macro instructions into unit instructions (test helper)."""
+    for op, arg in stream:
+        if op in (OP_LD, OP_ST, OP_LD2, OP_ST2, OP_LOCK, OP_UNLOCK,
+                  OP_DMA):
+            yield (op, arg)
+        else:
+            for _ in range(arg):
+                yield (op, 1)

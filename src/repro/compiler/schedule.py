@@ -1,0 +1,30 @@
+"""OpenMP ``schedule(static)`` iteration chunking.
+
+Without an explicit chunk size OpenMP divides the iteration space into at
+most one contiguous chunk per thread, chunk sizes differing by at most
+one, earlier threads receiving the larger chunks.  This is what the PULP
+OpenMP runtime in the paper implements.
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+
+
+def static_chunks(lower: int, upper: int, team: int) -> list[tuple[int, int]]:
+    """Split ``[lower, upper)`` into *team* contiguous half-open chunks.
+
+    Returns one ``(lo, hi)`` per team member (``hi == lo`` for members
+    with no work).  The chunks partition the range exactly.
+    """
+    if team < 1:
+        raise LoweringError(f"team size must be >= 1, got {team}")
+    total = max(0, upper - lower)
+    base, extra = divmod(total, team)
+    chunks: list[tuple[int, int]] = []
+    start = lower
+    for member in range(team):
+        size = base + (1 if member < extra else 0)
+        chunks.append((start, start + size))
+        start += size
+    return chunks

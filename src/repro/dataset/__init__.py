@@ -1,0 +1,36 @@
+"""The paper's kernel dataset (§III-B / §IV-B).
+
+59 OpenMP kernels across three suites — Polybench (polyhedral compute
+kernels), UTDSP (digital signal processing) and Custom (hand-written
+stimulators of the PULP energy trade-offs) — each parametric in data
+type (int32 / fp32) and payload size (512 / 2048 / 8192 / 32768 bytes).
+Six kernels are integer-only, giving 53*2*4 + 6*4 = 448 samples.
+
+:func:`build_dataset` runs the full labelling campaign (simulate every
+sample at every team size, attach Table-I energies, label with the
+argmin) with on-disk caching of both raw counters and the assembled
+dataset.
+"""
+
+from repro.dataset.spec import (
+    PAPER_SIZES,
+    PROFILES,
+    KernelSpec,
+    SampleSpec,
+    enumerate_samples,
+)
+from repro.dataset.registry import all_kernel_specs, get_kernel_spec
+from repro.dataset.build import Dataset, Sample, build_dataset
+
+__all__ = [
+    "PAPER_SIZES",
+    "PROFILES",
+    "KernelSpec",
+    "SampleSpec",
+    "enumerate_samples",
+    "all_kernel_specs",
+    "get_kernel_spec",
+    "Dataset",
+    "Sample",
+    "build_dataset",
+]

@@ -1,0 +1,115 @@
+"""On-disk caching of simulation results.
+
+The campaign is 448 samples x 8 team sizes = 3584 cluster simulations —
+minutes of work worth caching.  Raw *counters* are cached (not energies):
+energy models are cheap to re-apply, so ablations over Table-I variants
+reuse the same simulations.
+
+Cache entries are invalidated by a fingerprint covering the kernel IR
+(structure, placements, sizes), the cluster configuration and a manual
+``CODE_VERSION`` bumped whenever simulator semantics change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+
+from repro.ir.nodes import (
+    Barrier,
+    Compute,
+    Critical,
+    Kernel,
+    Load,
+    Loop,
+    ParallelFor,
+    Sequential,
+    SequentialFor,
+    Store,
+)
+from repro.platform.config import ClusterConfig
+
+#: bump when engine/compiler semantics change in a way that affects counts.
+CODE_VERSION = 4
+
+
+def _node_repr(stmt) -> str:
+    if isinstance(stmt, Compute):
+        return f"C({stmt.kind.value},{stmt.count})"
+    if isinstance(stmt, Load):
+        return f"L({stmt.array},{stmt.index.to_python()})"
+    if isinstance(stmt, Store):
+        return f"S({stmt.array},{stmt.index.to_python()})"
+    if isinstance(stmt, Loop):
+        inner = ";".join(_node_repr(s) for s in stmt.body)
+        return (f"F({stmt.var},{stmt.lower.to_python()},"
+                f"{stmt.upper.to_python()})[{inner}]")
+    if isinstance(stmt, Critical):
+        inner = ";".join(_node_repr(s) for s in stmt.body)
+        return f"X({stmt.name})[{inner}]"
+    if isinstance(stmt, ParallelFor):
+        inner = ";".join(_node_repr(s) for s in stmt.body)
+        return (f"P({stmt.var},{stmt.lower.to_python()},"
+                f"{stmt.upper.to_python()},{int(stmt.nowait)})[{inner}]")
+    if isinstance(stmt, Sequential):
+        inner = ";".join(_node_repr(s) for s in stmt.body)
+        return f"Q[{inner}]"
+    if isinstance(stmt, SequentialFor):
+        inner = ";".join(_node_repr(s) for s in stmt.body)
+        return (f"T({stmt.var},{stmt.lower.to_python()},"
+                f"{stmt.upper.to_python()})[{inner}]")
+    if isinstance(stmt, Barrier):
+        return "B"
+    raise TypeError(f"unexpected node {type(stmt).__name__}")
+
+
+def kernel_fingerprint(kernel: Kernel, config: ClusterConfig) -> str:
+    """Stable hash of everything that determines simulation counts."""
+    arrays = ",".join(f"{a.name}:{a.length}:{a.space}"
+                      for a in kernel.arrays)
+    body = ";".join(_node_repr(stmt) for stmt in kernel.body)
+    text = "|".join([
+        f"v{CODE_VERSION}",
+        kernel.name, kernel.dtype.value, str(kernel.size_bytes),
+        arrays, body, config.cache_key(),
+    ])
+    return hashlib.sha1(text.encode()).hexdigest()
+
+
+def _safe_name(sample_id: str) -> str:
+    return re.sub(r"[^A-Za-z0-9._-]", "_", sample_id)
+
+
+class SimCache:
+    """One JSON file per sample, holding counters for every team size."""
+
+    def __init__(self, cache_dir: str) -> None:
+        self.cache_dir = cache_dir
+        os.makedirs(cache_dir, exist_ok=True)
+
+    def _path(self, sample_id: str) -> str:
+        return os.path.join(self.cache_dir, _safe_name(sample_id) + ".json")
+
+    def load(self, sample_id: str, fingerprint: str) -> dict:
+        """Cached ``{team(str): counters_dict}`` or an empty dict."""
+        path = self._path(sample_id)
+        if not os.path.exists(path):
+            return {}
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if data.get("fingerprint") != fingerprint:
+            return {}
+        return data.get("teams", {})
+
+    def store(self, sample_id: str, fingerprint: str,
+              teams: dict) -> None:
+        path = self._path(sample_id)
+        tmp = path + ".tmp"
+        with open(tmp, "w") as handle:
+            json.dump({"fingerprint": fingerprint, "teams": teams}, handle)
+        os.replace(tmp, path)

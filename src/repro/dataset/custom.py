@@ -1,0 +1,342 @@
+"""Custom suite (17 kernels): engineered energy trade-off stimulators.
+
+The paper augments the public suites with hand-written parametric
+kernels "designed to stimulate different patterns of memory accesses,
+compute operations, and synchronisation primitives" — i.e. to populate
+the minimum-energy classes that well-balanced kernels never hit.  Each
+kernel here targets one mechanism:
+
+* TCDM pressure: ``bank_hammer`` (all cores on one bank) vs
+  ``bank_friendly`` (stride-1) vs ``stride7_gather``;
+* FPU sharing: ``fpu_saturate`` (dense FP) and ``div_chain``;
+* synchronisation: ``critical_update`` (lock serialisation),
+  ``barrier_storm`` (fork/join dominated), ``reduction_tree``;
+* Amdahl: ``seq_then_par``; imbalance: ``imbalanced_triangle``,
+  ``tiny_parallel``;
+* the L2 path: ``l2_stream`` vs ``l2_pingpong``;
+* scaling references: ``stream_copy``, ``stream_triad``,
+  ``compute_dense``, ``mixed_phase``, ``stencil_sync``.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.expr import var
+from repro.ir.nodes import (
+    Compute,
+    Critical,
+    DmaCopy,
+    Load,
+    Loop,
+    OpKind,
+    ParallelFor,
+    Sequential,
+    Store,
+)
+from repro.ir.types import DType
+from repro.dataset._sizing import vector_len
+
+SUITE = "custom"
+
+
+def _builder(name: str, dtype: DType, size: int) -> KernelBuilder:
+    return KernelBuilder(name, dtype, size, suite=SUITE)
+
+
+def stream_copy(dtype: DType, size: int):
+    b = _builder("stream_copy", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.parallel_for("i", 0, n, [Load(A.name, i), Store(B.name, i)])
+    return b.build()
+
+
+def stream_triad(dtype: DType, size: int):
+    b = _builder("stream_triad", dtype, size)
+    n = vector_len(size, 3)
+    A, B, C = (b.array(x, n) for x in "ABC")
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(B.name, i), Load(C.name, i), b.mul_add(), Store(A.name, i),
+    ])
+    return b.build()
+
+
+def compute_dense(dtype: DType, size: int):
+    b = _builder("compute_dense", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i), b.op(24), Store(B.name, i),
+    ])
+    return b.build()
+
+
+def fpu_saturate(dtype: DType, size: int):
+    # Arithmetic-dense body: on fp32 the 2-cores-per-FPU sharing saturates
+    # beyond 4 cores, so extra cores only buy NOP-priced stalls.
+    b = _builder("fpu_saturate", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i), b.op(28), Store(B.name, i),
+    ])
+    return b.build()
+
+
+def div_chain(dtype: DType, size: int):
+    b = _builder("div_chain", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i), b.div(2), b.op(2), Store(B.name, i),
+    ])
+    return b.build()
+
+
+def bank_hammer(dtype: DType, size: int):
+    # Stride-16 accesses with 16 banks: every core hits the same bank
+    # every cycle — worst-case TCDM serialisation.  (The index wraps
+    # around the array; only its bank residue matters.)
+    b = _builder("bank_hammer", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i * 16), b.op(2), Store(B.name, i * 16),
+    ])
+    return b.build()
+
+
+def bank_friendly(dtype: DType, size: int):
+    # The control pair of bank_hammer: identical mix, stride-1 accesses.
+    b = _builder("bank_friendly", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i), b.op(2), Store(B.name, i),
+    ])
+    return b.build()
+
+
+def stride7_gather(dtype: DType, size: int):
+    b = _builder("stride7_gather", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i * 7), b.op(1), Store(B.name, i),  # scattered reads
+    ])
+    return b.build()
+
+
+def critical_update(dtype: DType, size: int):
+    b = _builder("critical_update", dtype, size)
+    n = vector_len(size, 2)
+    A = b.array("A", n)
+    acc = b.array("acc", 4)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i), b.op(2),
+        Critical([
+            Load(acc.name, 0), Compute(OpKind.ALU, 1), Store(acc.name, 0),
+        ], name="acc_update"),
+    ])
+    return b.build()
+
+
+def barrier_storm(dtype: DType, size: int):
+    b = _builder("barrier_storm", dtype, size)
+    n = vector_len(size, 2)
+    steps = max(8, n // 32)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    tiny = ParallelFor("i", 0, 16, [
+        Load(A.name, i), Compute(OpKind.ALU, 2), Store(B.name, i),
+    ])
+    b.sequential_for("t", 0, steps, [tiny])
+    return b.build()
+
+
+def imbalanced_triangle(dtype: DType, size: int):
+    b = _builder("imbalanced_triangle", dtype, size)
+    n = vector_len(size, 2)
+    rows = max(8, min(128, n // 8))
+    A, B = b.array("A", n), b.array("B", n)
+    i, j = var("i"), var("j")
+    b.parallel_for("i", 0, rows, [
+        Loop("j", 0, i + 1, [                 # row i costs i+1 iterations
+            Load(A.name, j), b.mul_add(),
+        ]),
+        Store(B.name, i),
+    ])
+    return b.build()
+
+
+def l2_stream(dtype: DType, size: int):
+    b = _builder("l2_stream", dtype, size)
+    n = vector_len(size, 2)
+    A = b.array("A", n, space="l2")
+    B = b.array("B", n, space="l2")
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(A.name, i), b.op(2), Store(B.name, i),
+    ])
+    return b.build()
+
+
+def l2_pingpong(dtype: DType, size: int):
+    # Stride-32 with 32 L2 banks: all cores serialise on one 15-cycle
+    # bank — parallelism buys nothing, active waits burn energy.
+    b = _builder("l2_pingpong", dtype, size)
+    n = vector_len(size, 2)
+    A = b.array("A", n, space="l2")
+    B = b.array("B", n, space="l2")
+    i = var("i")
+    b.parallel_for("i", 0, n // 4, [
+        Load(A.name, i * 32), b.op(2), Store(B.name, i * 32),
+    ])
+    return b.build()
+
+
+def reduction_tree(dtype: DType, size: int):
+    b = _builder("reduction_tree", dtype, size)
+    nparts = 8
+    n = vector_len(size, 2)
+    chunk = max(1, n // nparts)
+    X = b.array("X", n)
+    psum = b.array("psum", nparts)
+    c, i = var("c"), var("i")
+    rounds = 4
+    partial = ParallelFor("c", 0, nparts, [
+        Loop("i", c * chunk, (c + 1) * chunk, [
+            Load(X.name, i), b.mul_add(),
+        ]),
+        Store(psum.name, c),
+    ])
+    combine = Sequential([
+        Loop("p", 0, nparts, [Load(psum.name, var("p")), b.op(1)]),
+    ])
+    b.sequential_for("t", 0, rounds, [partial, combine])
+    return b.build()
+
+
+def seq_then_par(dtype: DType, size: int):
+    b = _builder("seq_then_par", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    b.sequential([                            # serial prefix scan (Amdahl)
+        Loop("s", 0, n, [
+            Load(A.name, var("s")), b.op(3), Store(A.name, var("s")),
+        ]),
+    ])
+    b.parallel_for("i", 0, max(1, n // 16), [  # small parallel tail
+        Load(A.name, i), b.op(1), Store(B.name, i),
+    ])
+    return b.build()
+
+
+def tiny_parallel(dtype: DType, size: int):
+    b = _builder("tiny_parallel", dtype, size)
+    n = vector_len(size, 2)
+    inner = max(8, n // 12)
+    A, B = b.array("A", n), b.array("B", n)
+    i, j = var("i"), var("j")
+    b.parallel_for("i", 0, 12, [              # 12 heavy iterations only
+        Loop("j", 0, inner, [
+            Load(A.name, j), b.mul_add(),
+        ]),
+        Store(B.name, i),
+    ])
+    return b.build()
+
+
+def mixed_phase(dtype: DType, size: int):
+    b = _builder("mixed_phase", dtype, size)
+    n = vector_len(size, 3)
+    A, B, C = (b.array(x, n) for x in "ABC")
+    i, i2, i3 = var("i"), var("i2"), var("i3")
+    b.parallel_for("i", 0, n, [               # memory phase
+        Load(A.name, i), Store(B.name, i),
+    ])
+    b.parallel_for("i2", 0, n, [              # integer compute phase
+        Load(B.name, i2), Compute(OpKind.ALU, 12), Store(C.name, i2),
+    ])
+    b.parallel_for("i3", 0, n, [              # arithmetic phase
+        Load(C.name, i3), b.op(8), Store(A.name, i3),
+    ])
+    return b.build()
+
+
+def stencil_sync(dtype: DType, size: int):
+    b = _builder("stencil_sync", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    steps = 8
+    sweep = ParallelFor("i", 1, n - 1, [
+        Load(A.name, i - 1), Load(A.name, i), Load(A.name, i + 1),
+        b.op(2), Store(B.name, i),
+    ])
+    copy = ParallelFor("i2", 1, n - 1, [
+        Load(B.name, var("i2")), Store(A.name, var("i2")),
+    ])
+    b.sequential_for("t", 0, steps, [sweep, copy])
+    return b.build()
+
+
+def dma_tiled_stream(dtype: DType, size: int):
+    """Demo kernel (not in the 59-kernel dataset): the paper's
+    future-work memory-hierarchy extension.
+
+    Processes an L2-resident payload tile by tile: the master DMAs a
+    tile into a TCDM buffer, the team computes on it at single-cycle
+    latency, and the result is DMAed back — instead of paying the
+    15-cycle L2 latency per element like ``l2_stream`` does.
+    """
+    b = _builder("dma_tiled_stream", dtype, size)
+    n = vector_len(size, 2)
+    tiles = 8
+    tile = max(4, n // tiles)
+    b.array("A", n, space="l2")
+    b.array("B", n, space="l2")
+    buf = b.array("buf", tile)
+    t, i = var("t"), var("i")
+    fetch = Sequential([DmaCopy(tile, "in")])
+    compute = ParallelFor("i", 0, tile, [
+        Load(buf.name, i), b.op(2), Store(buf.name, i),
+    ])
+    drain = Sequential([DmaCopy(tile, "out")])
+    b.sequential_for("t", 0, tiles, [fetch, compute, drain])
+    return b.build()
+
+
+CUSTOM_KERNELS = {
+    "stream_copy": stream_copy,
+    "stream_triad": stream_triad,
+    "compute_dense": compute_dense,
+    "fpu_saturate": fpu_saturate,
+    "div_chain": div_chain,
+    "bank_hammer": bank_hammer,
+    "bank_friendly": bank_friendly,
+    "stride7_gather": stride7_gather,
+    "critical_update": critical_update,
+    "barrier_storm": barrier_storm,
+    "imbalanced_triangle": imbalanced_triangle,
+    "l2_stream": l2_stream,
+    "l2_pingpong": l2_pingpong,
+    "reduction_tree": reduction_tree,
+    "seq_then_par": seq_then_par,
+    "tiny_parallel": tiny_parallel,
+    "mixed_phase": mixed_phase,
+    # stencil_sync is kept as a demo kernel (examples, tests) but is not
+    # part of the 59-kernel dataset.
+}
+
+INT_ONLY = ("bank_hammer", "critical_update", "barrier_storm")

@@ -1,0 +1,666 @@
+"""Polybench suite ported to the kernel DSL (26 kernels).
+
+Each builder transcribes the loop structure and access pattern of the
+reference Polybench C kernel, parallelised the way the paper's OpenMP
+port does: the outermost data-parallel loop becomes ``parallel for``,
+sequential dependences (pivots, time steps, recurrences) become
+:class:`SequentialFor` loops around the regions.  Array initialisation
+is not part of the measured ``kernel()`` region and is omitted.
+
+Simplifications are noted per kernel; they preserve the opcode mix and
+the memory access pattern, which is what both the features and the
+energy model observe.
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.expr import var
+from repro.ir.nodes import Load, Loop, ParallelFor, Sequential, Store
+from repro.ir.types import DType
+from repro.dataset._sizing import matrix_side, cube_side, vector_len
+
+SUITE = "polybench"
+
+
+def _builder(name: str, dtype: DType, size: int) -> KernelBuilder:
+    return KernelBuilder(name, dtype, size, suite=SUITE)
+
+
+def gemm(dtype: DType, size: int):
+    b = _builder("gemm", dtype, size)
+    n = matrix_side(size, 3)
+    A, B, C = (b.array(x, n * n) for x in "ABC")
+    i, j, k = var("i"), var("j"), var("k")
+    b.parallel_for("i", 0, n, [
+        Loop("j", 0, n, [
+            Load(C.name, i * n + j), b.op(1),        # beta * C[i][j]
+            Loop("k", 0, n, [
+                Load(A.name, i * n + k), Load(B.name, k * n + j),
+                b.mul_add(),
+            ]),
+            Store(C.name, i * n + j),
+        ]),
+    ])
+    return b.build()
+
+
+def two_mm(dtype: DType, size: int):
+    b = _builder("2mm", dtype, size)
+    n = matrix_side(size, 5)
+    A, B, C, D, T = (b.array(x, n * n) for x in ("A", "B", "C", "D", "T"))
+    i, j, k = var("i"), var("j"), var("k")
+    b.parallel_for("i", 0, n, [
+        Loop("j", 0, n, [
+            Loop("k", 0, n, [
+                Load(A.name, i * n + k), Load(B.name, k * n + j),
+                b.mul_add(),
+            ]),
+            Store(T.name, i * n + j),
+        ]),
+    ])
+    b.parallel_for("i2", 0, n, [
+        Loop("j2", 0, n, [
+            Load(D.name, var("i2") * n + var("j2")), b.op(1),
+            Loop("k2", 0, n, [
+                Load(T.name, var("i2") * n + var("k2")),
+                Load(C.name, var("k2") * n + var("j2")),
+                b.mul_add(),
+            ]),
+            Store(D.name, var("i2") * n + var("j2")),
+        ]),
+    ])
+    return b.build()
+
+
+def three_mm(dtype: DType, size: int):
+    b = _builder("3mm", dtype, size)
+    n = matrix_side(size, 7)
+    names = ("A", "B", "C", "D", "E", "F", "G")
+    A, B, C, D, E, F, G = (b.array(x, n * n) for x in names)
+
+    def mm(tag: str, x, y, out):
+        i, j, k = var(f"i{tag}"), var(f"j{tag}"), var(f"k{tag}")
+        b.parallel_for(f"i{tag}", 0, n, [
+            Loop(f"j{tag}", 0, n, [
+                Loop(f"k{tag}", 0, n, [
+                    Load(x.name, i * n + k), Load(y.name, k * n + j),
+                    b.mul_add(),
+                ]),
+                Store(out.name, i * n + j),
+            ]),
+        ])
+
+    mm("a", A, B, E)
+    mm("b", C, D, F)
+    mm("c", E, F, G)
+    return b.build()
+
+
+def atax(dtype: DType, size: int):
+    b = _builder("atax", dtype, size)
+    n = matrix_side(size, 1, n_vectors=3)
+    A = b.array("A", n * n)
+    x, y, tmp = (b.array(s, n) for s in ("x", "y", "tmp"))
+    i, j = var("i"), var("j")
+    b.parallel_for("i", 0, n, [              # tmp = A x   (row access)
+        Loop("j", 0, n, [
+            Load(A.name, i * n + j), Load(x.name, j), b.mul_add(),
+        ]),
+        Store(tmp.name, i),
+    ])
+    b.parallel_for("i2", 0, n, [             # y = A^T tmp (column access)
+        Loop("j2", 0, n, [
+            Load(A.name, var("j2") * n + var("i2")),
+            Load(tmp.name, var("j2")), b.mul_add(),
+        ]),
+        Store(y.name, var("i2")),
+    ])
+    return b.build()
+
+
+def bicg(dtype: DType, size: int):
+    b = _builder("bicg", dtype, size)
+    n = matrix_side(size, 1, n_vectors=4)
+    A = b.array("A", n * n)
+    s, q, p, r = (b.array(x, n) for x in ("s", "q", "p", "r"))
+    i, j = var("i"), var("j")
+    b.parallel_for("i", 0, n, [              # q = A p
+        Loop("j", 0, n, [
+            Load(A.name, i * n + j), Load(p.name, j), b.mul_add(),
+        ]),
+        Store(q.name, i),
+    ])
+    b.parallel_for("j2", 0, n, [             # s = A^T r
+        Loop("i2", 0, n, [
+            Load(A.name, var("i2") * n + var("j2")),
+            Load(r.name, var("i2")), b.mul_add(),
+        ]),
+        Store(s.name, var("j2")),
+    ])
+    return b.build()
+
+
+def mvt(dtype: DType, size: int):
+    b = _builder("mvt", dtype, size)
+    n = matrix_side(size, 1, n_vectors=4)
+    A = b.array("A", n * n)
+    x1, x2, y1, y2 = (b.array(s, n) for s in ("x1", "x2", "y1", "y2"))
+    i, j = var("i"), var("j")
+    b.parallel_for("i", 0, n, [
+        Load(x1.name, i),
+        Loop("j", 0, n, [
+            Load(A.name, i * n + j), Load(y1.name, j), b.mul_add(),
+        ]),
+        Store(x1.name, i),
+    ])
+    b.parallel_for("i2", 0, n, [
+        Load(x2.name, var("i2")),
+        Loop("j2", 0, n, [
+            Load(A.name, var("j2") * n + var("i2")),
+            Load(y2.name, var("j2")), b.mul_add(),
+        ]),
+        Store(x2.name, var("i2")),
+    ])
+    return b.build()
+
+
+def gemver(dtype: DType, size: int):
+    b = _builder("gemver", dtype, size)
+    n = matrix_side(size, 1, n_vectors=8)
+    A = b.array("A", n * n)
+    vecs = ("u1", "v1", "u2", "v2", "wv", "xv", "yv", "zv")
+    u1, v1, u2, v2, w, x, y, z = (b.array(s, n) for s in vecs)
+    i, j = var("i"), var("j")
+    b.parallel_for("i", 0, n, [              # A += u1 v1^T + u2 v2^T
+        Load(u1.name, i), Load(u2.name, i),
+        Loop("j", 0, n, [
+            Load(A.name, i * n + j), Load(v1.name, j), b.mul_add(),
+            Load(v2.name, j), b.mul_add(),
+            Store(A.name, i * n + j),
+        ]),
+    ])
+    b.parallel_for("i2", 0, n, [             # x = beta A^T y + z
+        Loop("j2", 0, n, [
+            Load(A.name, var("j2") * n + var("i2")),
+            Load(y.name, var("j2")), b.mul_add(),
+        ]),
+        Load(z.name, var("i2")), b.op(1), Store(x.name, var("i2")),
+    ])
+    b.parallel_for("i3", 0, n, [             # w = alpha A x
+        Loop("j3", 0, n, [
+            Load(A.name, var("i3") * n + var("j3")),
+            Load(x.name, var("j3")), b.mul_add(),
+        ]),
+        b.op(1), Store(w.name, var("i3")),
+    ])
+    return b.build()
+
+
+def gesummv(dtype: DType, size: int):
+    b = _builder("gesummv", dtype, size)
+    n = matrix_side(size, 2, n_vectors=2)
+    A, B = b.array("A", n * n), b.array("B", n * n)
+    x, y = b.array("x", n), b.array("y", n)
+    i, j = var("i"), var("j")
+    b.parallel_for("i", 0, n, [
+        Loop("j", 0, n, [
+            Load(A.name, i * n + j), Load(x.name, j), b.mul_add(),
+            Load(B.name, i * n + j), Load(x.name, j), b.mul_add(),
+        ]),
+        b.op(2),                              # alpha*tmp + beta*y
+        Store(y.name, i),
+    ])
+    return b.build()
+
+
+def syrk(dtype: DType, size: int):
+    b = _builder("syrk", dtype, size)
+    n = matrix_side(size, 2)
+    A, C = b.array("A", n * n), b.array("C", n * n)
+    i, j, k = var("i"), var("j"), var("k")
+    b.parallel_for("i", 0, n, [              # lower triangle of C
+        Loop("j", 0, i + 1, [
+            Load(C.name, i * n + j), b.op(1),
+            Loop("k", 0, n, [
+                Load(A.name, i * n + k), Load(A.name, j * n + k),
+                b.mul_add(),
+            ]),
+            Store(C.name, i * n + j),
+        ]),
+    ])
+    return b.build()
+
+
+def syr2k(dtype: DType, size: int):
+    b = _builder("syr2k", dtype, size)
+    n = matrix_side(size, 3)
+    A, B, C = (b.array(x, n * n) for x in "ABC")
+    i, j, k = var("i"), var("j"), var("k")
+    b.parallel_for("i", 0, n, [
+        Loop("j", 0, i + 1, [
+            Load(C.name, i * n + j), b.op(1),
+            Loop("k", 0, n, [
+                Load(A.name, i * n + k), Load(B.name, j * n + k),
+                b.mul_add(),
+                Load(B.name, i * n + k), Load(A.name, j * n + k),
+                b.mul_add(),
+            ]),
+            Store(C.name, i * n + j),
+        ]),
+    ])
+    return b.build()
+
+
+def trmm(dtype: DType, size: int):
+    b = _builder("trmm", dtype, size)
+    n = matrix_side(size, 2)
+    A, B = b.array("A", n * n), b.array("B", n * n)
+    i, j, k = var("i"), var("j"), var("k")
+    b.parallel_for("i", 0, n, [
+        Loop("j", 0, n, [
+            Load(B.name, i * n + j),
+            Loop("k", i + 1, n, [            # strictly-lower triangle
+                Load(A.name, k * n + i), Load(B.name, k * n + j),
+                b.mul_add(),
+            ]),
+            b.op(1), Store(B.name, i * n + j),
+        ]),
+    ])
+    return b.build()
+
+
+def symm(dtype: DType, size: int):
+    b = _builder("symm", dtype, size)
+    n = matrix_side(size, 3)
+    A, B, C = (b.array(x, n * n) for x in "ABC")
+    i, j, k = var("i"), var("j"), var("k")
+    b.parallel_for("i", 0, n, [
+        Loop("j", 0, n, [
+            Loop("k", 0, i, [                # temp2 accumulation
+                Load(A.name, i * n + k), Load(B.name, k * n + j),
+                b.mul_add(),
+            ]),
+            Load(B.name, i * n + j), Load(A.name, i * n + i),
+            b.mul_add(), b.op(1),
+            Load(C.name, i * n + j), b.mul_add(),
+            Store(C.name, i * n + j),
+        ]),
+    ])
+    return b.build()
+
+
+def doitgen(dtype: DType, size: int):
+    b = _builder("doitgen", dtype, size)
+    m = cube_side(size, 1)                   # A is m^3; C4 is m^2
+    A = b.array("A", m * m * m)
+    C4 = b.array("C4", m * m)
+    S = b.array("S", m)
+    r, q, p, s = var("r"), var("q"), var("p"), var("s")
+    b.parallel_for("r", 0, m, [
+        Loop("q", 0, m, [
+            Loop("p", 0, m, [
+                Loop("s", 0, m, [
+                    Load(A.name, r * (m * m) + q * m + s),
+                    Load(C4.name, s * m + p),
+                    b.mul_add(),
+                ]),
+                Store(S.name, p),
+            ]),
+            Loop("p2", 0, m, [
+                Load(S.name, var("p2")),
+                Store(A.name, r * (m * m) + q * m + var("p2")),
+            ]),
+        ]),
+    ])
+    return b.build()
+
+
+_TSTEPS = 4  # time steps for the stencil kernels
+
+
+def jacobi_1d(dtype: DType, size: int):
+    b = _builder("jacobi-1d", dtype, size)
+    n = vector_len(size, 2)
+    A, B = b.array("A", n), b.array("B", n)
+    i = var("i")
+    i2 = var("i2")
+    sweep = ParallelFor("i", 1, n - 1, [
+        Load(A.name, i - 1), Load(A.name, i), Load(A.name, i + 1),
+        b.op(3), Store(B.name, i),
+    ])
+    copy_back = ParallelFor("i2", 1, n - 1, [
+        Load(B.name, i2), Store(A.name, i2),
+    ])
+    b.sequential_for("t", 0, _TSTEPS, [sweep, copy_back])
+    return b.build()
+
+
+def jacobi_2d(dtype: DType, size: int):
+    b = _builder("jacobi-2d", dtype, size)
+    n = matrix_side(size, 2)
+    A, B = b.array("A", n * n), b.array("B", n * n)
+    i, j = var("i"), var("j")
+    i2, j2 = var("i2"), var("j2")
+    sweep = ParallelFor("i", 1, n - 1, [
+        Loop("j", 1, n - 1, [
+            Load(A.name, i * n + j), Load(A.name, i * n + j - 1),
+            Load(A.name, i * n + j + 1), Load(A.name, (i - 1) * n + j),
+            Load(A.name, (i + 1) * n + j), b.op(4),
+            Store(B.name, i * n + j),
+        ]),
+    ])
+    copy_back = ParallelFor("i2", 1, n - 1, [
+        Loop("j2", 1, n - 1, [
+            Load(B.name, i2 * n + j2), Store(A.name, i2 * n + j2),
+        ]),
+    ])
+    b.sequential_for("t", 0, _TSTEPS, [sweep, copy_back])
+    return b.build()
+
+
+def seidel_2d(dtype: DType, size: int):
+    # Gauss-Seidel has loop-carried dependences; the OpenMP port (like
+    # the paper's) relaxes them and updates rows in parallel in place.
+    b = _builder("seidel-2d", dtype, size)
+    n = matrix_side(size, 1)
+    A = b.array("A", n * n)
+    i, j = var("i"), var("j")
+    sweep = ParallelFor("i", 1, n - 1, [
+        Loop("j", 1, n - 1, [
+            Load(A.name, (i - 1) * n + j - 1), Load(A.name, (i - 1) * n + j),
+            Load(A.name, (i - 1) * n + j + 1), Load(A.name, i * n + j - 1),
+            Load(A.name, i * n + j), Load(A.name, i * n + j + 1),
+            Load(A.name, (i + 1) * n + j - 1), Load(A.name, (i + 1) * n + j),
+            Load(A.name, (i + 1) * n + j + 1),
+            b.op(8), b.div(1),
+            Store(A.name, i * n + j),
+        ]),
+    ])
+    b.sequential_for("t", 0, _TSTEPS, [sweep])
+    return b.build()
+
+
+def fdtd_2d(dtype: DType, size: int):
+    b = _builder("fdtd-2d", dtype, size)
+    n = matrix_side(size, 3)
+    ex, ey, hz = (b.array(x, n * n) for x in ("ex", "ey", "hz"))
+    i, j = var("i"), var("j")
+    i2, j2 = var("i2"), var("j2")
+    i3, j3 = var("i3"), var("j3")
+    upd_ey = ParallelFor("i", 1, n, [
+        Loop("j", 0, n, [
+            Load(ey.name, i * n + j), Load(hz.name, i * n + j),
+            Load(hz.name, (i - 1) * n + j), b.op(2),
+            Store(ey.name, i * n + j),
+        ]),
+    ])
+    upd_ex = ParallelFor("i2", 0, n, [
+        Loop("j2", 1, n, [
+            Load(ex.name, i2 * n + j2), Load(hz.name, i2 * n + j2),
+            Load(hz.name, i2 * n + j2 - 1), b.op(2),
+            Store(ex.name, i2 * n + j2),
+        ]),
+    ])
+    upd_hz = ParallelFor("i3", 0, n - 1, [
+        Loop("j3", 0, n - 1, [
+            Load(hz.name, i3 * n + j3),
+            Load(ex.name, i3 * n + j3 + 1), Load(ex.name, i3 * n + j3),
+            Load(ey.name, (i3 + 1) * n + j3), Load(ey.name, i3 * n + j3),
+            b.op(4),
+            Store(hz.name, i3 * n + j3),
+        ]),
+    ])
+    b.sequential_for("t", 0, _TSTEPS, [upd_ey, upd_ex, upd_hz])
+    return b.build()
+
+
+def heat_3d(dtype: DType, size: int):
+    b = _builder("heat-3d", dtype, size)
+    m = cube_side(size, 2)
+    A, B = b.array("A", m ** 3), b.array("B", m ** 3)
+    i, j, k = var("i"), var("j"), var("k")
+    m2 = m * m
+
+    def stencil(src, dst, tag):
+        ii, jj, kk = var(f"i{tag}"), var(f"j{tag}"), var(f"k{tag}")
+        return ParallelFor(f"i{tag}", 1, m - 1, [
+            Loop(f"j{tag}", 1, m - 1, [
+                Loop(f"k{tag}", 1, m - 1, [
+                    Load(src, ii * m2 + jj * m + kk),
+                    Load(src, (ii - 1) * m2 + jj * m + kk),
+                    Load(src, (ii + 1) * m2 + jj * m + kk),
+                    Load(src, ii * m2 + (jj - 1) * m + kk),
+                    Load(src, ii * m2 + (jj + 1) * m + kk),
+                    Load(src, ii * m2 + jj * m + kk - 1),
+                    Load(src, ii * m2 + jj * m + kk + 1),
+                    b.op(6),
+                    Store(dst, ii * m2 + jj * m + kk),
+                ]),
+            ]),
+        ])
+
+    b.sequential_for("t", 0, 2, [stencil(A.name, B.name, "a"),
+                                 stencil(B.name, A.name, "b")])
+    return b.build()
+
+
+def adi(dtype: DType, size: int):
+    b = _builder("adi", dtype, size)
+    n = matrix_side(size, 3)
+    u, v, p = (b.array(x, n * n) for x in ("u", "v", "p"))
+    i, j = var("i"), var("j")
+    i2, j2 = var("i2"), var("j2")
+    col_sweep = ParallelFor("i", 1, n - 1, [   # implicit in y direction
+        Loop("j", 1, n - 1, [
+            Load(u.name, j * n + i), Load(p.name, i * n + j - 1),
+            b.mul_add(), b.div(1),
+            Store(p.name, i * n + j), Store(v.name, j * n + i),
+        ]),
+    ])
+    row_sweep = ParallelFor("i2", 1, n - 1, [  # implicit in x direction
+        Loop("j2", 1, n - 1, [
+            Load(v.name, i2 * n + j2), Load(p.name, i2 * n + j2 - 1),
+            b.mul_add(), b.div(1),
+            Store(p.name, i2 * n + j2), Store(u.name, i2 * n + j2),
+        ]),
+    ])
+    b.sequential_for("t", 0, 2, [col_sweep, row_sweep])
+    return b.build()
+
+
+def trisolv(dtype: DType, size: int):
+    b = _builder("trisolv", dtype, size)
+    n = matrix_side(size, 1, n_vectors=3)
+    L = b.array("L", n * n)
+    x, bb, r = (b.array(s, n) for s in ("x", "b", "r"))
+    i, j = var("i"), var("j")
+    partial = ParallelFor("j", 0, i, [        # dot(L[i,0:i], x[0:i])
+        Load(L.name, i * n + j), Load(x.name, j), b.mul_add(),
+        Store(r.name, j),
+    ])
+    update = Sequential([
+        Load(bb.name, i), Load(r.name, i), b.op(1),
+        Load(L.name, i * n + i), b.div(1), Store(x.name, i),
+    ])
+    b.sequential_for("i", 1, n, [partial, update])
+    return b.build()
+
+
+def durbin(dtype: DType, size: int):
+    b = _builder("durbin", dtype, size)
+    n = vector_len(size, 3)
+    n = min(n, 96)  # the recurrence opens O(n) regions; keep it bounded
+    r, y, z = (b.array(s, n) for s in ("r", "y", "z"))
+    k, i = var("k"), var("i")
+    sweep = ParallelFor("i", 0, k, [
+        Load(r.name, k - i - 1 + 1), Load(y.name, i), b.mul_add(),
+        Store(z.name, i),
+    ])
+    scalar = Sequential([
+        Load(r.name, k), b.op(2), b.div(1), Store(y.name, k),
+    ])
+    b.sequential_for("k", 1, n, [sweep, scalar])
+    return b.build()
+
+
+def cholesky(dtype: DType, size: int):
+    b = _builder("cholesky", dtype, size)
+    n = matrix_side(size, 1)
+    A = b.array("A", n * n)
+    j, i, k = var("j"), var("i"), var("k")
+    pivot = Sequential([
+        Load(A.name, j * n + j), b.op(1), b.div(2),  # sqrt via Newton steps
+        Store(A.name, j * n + j),
+    ])
+    eliminate = ParallelFor("i", j + 1, n, [
+        Load(A.name, i * n + j),
+        Loop("k", 0, j, [
+            Load(A.name, i * n + k), Load(A.name, j * n + k), b.mul_add(),
+        ]),
+        Load(A.name, j * n + j), b.div(1),
+        Store(A.name, i * n + j),
+    ])
+    b.sequential_for("j", 0, n, [pivot, eliminate])
+    return b.build()
+
+
+def lu(dtype: DType, size: int):
+    b = _builder("lu", dtype, size)
+    n = matrix_side(size, 1)
+    A = b.array("A", n * n)
+    k, i, j = var("k"), var("i"), var("j")
+    scale_col = ParallelFor("i", k + 1, n, [
+        Load(A.name, i * n + k), Load(A.name, k * n + k), b.div(1),
+        Store(A.name, i * n + k),
+    ])
+    update = ParallelFor("i2", k + 1, n, [
+        Load(A.name, var("i2") * n + k),
+        Loop("j", k + 1, n, [
+            Load(A.name, var("i2") * n + j), Load(A.name, k * n + j),
+            b.mul_add(), Store(A.name, var("i2") * n + j),
+        ]),
+    ])
+    b.sequential_for("k", 0, n - 1, [scale_col, update])
+    return b.build()
+
+
+def gramschmidt(dtype: DType, size: int):
+    b = _builder("gramschmidt", dtype, size)
+    n = matrix_side(size, 2)
+    A, R = b.array("A", n * n), b.array("R", n * n)
+    k, i, j = var("k"), var("i"), var("j")
+    norm = Sequential([                       # nrm = ||A[:,k]||, serial
+        Loop("i0", 0, n, [
+            Load(A.name, var("i0") * n + k), b.mul_add(),
+        ]),
+        b.div(2), Store(R.name, k * n + k),   # sqrt approximation
+    ])
+    orthogonalize = ParallelFor("j", k + 1, n, [
+        Loop("i", 0, n, [
+            Load(A.name, i * n + k), Load(A.name, i * n + j), b.mul_add(),
+        ]),
+        Store(R.name, k * n + j),
+        Loop("i2", 0, n, [
+            Load(A.name, var("i2") * n + j), Load(A.name, var("i2") * n + k),
+            b.mul_add(), Store(A.name, var("i2") * n + j),
+        ]),
+    ])
+    b.sequential_for("k", 0, n - 1, [norm, orthogonalize])
+    return b.build()
+
+
+def covariance(dtype: DType, size: int):
+    b = _builder("covariance", dtype, size)
+    n = matrix_side(size, 2, n_vectors=1)
+    data, cov = b.array("data", n * n), b.array("cov", n * n)
+    mean = b.array("mean", n)
+    j, i, k = var("j"), var("i"), var("k")
+    b.parallel_for("j", 0, n, [               # column means (stride-n)
+        Loop("i", 0, n, [
+            Load(data.name, i * n + j), b.op(1),
+        ]),
+        b.div(1), Store(mean.name, j),
+    ])
+    b.parallel_for("i2", 0, n, [              # upper-triangular covariance
+        Loop("j2", var("i2"), n, [
+            Loop("k2", 0, n, [
+                Load(data.name, var("k2") * n + var("i2")),
+                Load(data.name, var("k2") * n + var("j2")),
+                b.mul_add(),
+            ]),
+            b.div(1),
+            Store(cov.name, var("i2") * n + var("j2")),
+            Store(cov.name, var("j2") * n + var("i2")),
+        ]),
+    ])
+    return b.build()
+
+
+def correlation(dtype: DType, size: int):
+    b = _builder("correlation", dtype, size)
+    n = matrix_side(size, 2, n_vectors=2)
+    data, corr = b.array("data", n * n), b.array("corr", n * n)
+    mean, stddev = b.array("mean", n), b.array("stddev", n)
+    j, i = var("j"), var("i")
+    b.parallel_for("j", 0, n, [               # means + stddevs per column
+        Loop("i", 0, n, [
+            Load(data.name, i * n + j), b.op(1),
+        ]),
+        b.div(1), Store(mean.name, j),
+        Loop("i1", 0, n, [
+            Load(data.name, var("i1") * n + j), Load(mean.name, j),
+            b.mul_add(),
+        ]),
+        b.div(2), Store(stddev.name, j),      # sqrt approximation
+    ])
+    b.parallel_for("i2", 0, n, [              # normalise data
+        Loop("j2", 0, n, [
+            Load(data.name, var("i2") * n + var("j2")),
+            Load(mean.name, var("j2")), b.op(1),
+            Load(stddev.name, var("j2")), b.div(1),
+            Store(data.name, var("i2") * n + var("j2")),
+        ]),
+    ])
+    b.parallel_for("i3", 0, n, [              # correlation matrix
+        Loop("j3", var("i3"), n, [
+            Loop("k3", 0, n, [
+                Load(data.name, var("k3") * n + var("i3")),
+                Load(data.name, var("k3") * n + var("j3")),
+                b.mul_add(),
+            ]),
+            Store(corr.name, var("i3") * n + var("j3")),
+        ]),
+    ])
+    return b.build()
+
+
+#: kernel name -> builder, in a stable order.
+POLYBENCH_KERNELS = {
+    "gemm": gemm,
+    "2mm": two_mm,
+    "3mm": three_mm,
+    "atax": atax,
+    "bicg": bicg,
+    "mvt": mvt,
+    "gemver": gemver,
+    "gesummv": gesummv,
+    "syrk": syrk,
+    "syr2k": syr2k,
+    "trmm": trmm,
+    "symm": symm,
+    "doitgen": doitgen,
+    "jacobi-1d": jacobi_1d,
+    "jacobi-2d": jacobi_2d,
+    "seidel-2d": seidel_2d,
+    "fdtd-2d": fdtd_2d,
+    "heat-3d": heat_3d,
+    "adi": adi,
+    "trisolv": trisolv,
+    "durbin": durbin,
+    "cholesky": cholesky,
+    "lu": lu,
+    "gramschmidt": gramschmidt,
+    "covariance": covariance,
+    "correlation": correlation,
+}

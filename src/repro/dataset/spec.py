@@ -1,0 +1,82 @@
+"""Kernel and sample specifications, size grids and profiles.
+
+The paper evaluates payloads of 512, 2048, 8192 and 32768 bytes (its
+"8196" is read as the obvious typo for 8192) — all sized to fit the
+64 KiB TCDM so no DMA traffic is needed.  Profiles trade campaign time
+for fidelity:
+
+* ``paper`` — the full grid (448 samples);
+* ``quick`` — drops the 32768 B point (336 samples), for benches;
+* ``unit``  — one small size (112 samples), for integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DatasetError
+from repro.ir.nodes import Kernel
+from repro.ir.types import DType
+
+PAPER_SIZES = (512, 2048, 8192, 32768)
+
+PROFILES: dict[str, tuple[int, ...]] = {
+    "paper": PAPER_SIZES,
+    "quick": (512, 2048, 8192),
+    "unit": (512,),
+}
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One of the 59 dataset kernels (still parametric)."""
+
+    name: str
+    suite: str
+    builder: Callable[[DType, int], Kernel]
+    dtypes: tuple = (DType.INT32, DType.FP32)
+
+    def build(self, dtype: DType, size_bytes: int) -> Kernel:
+        if dtype not in self.dtypes:
+            raise DatasetError(f"kernel {self.name!r} does not support "
+                               f"dtype {dtype}")
+        kernel = self.builder(dtype, size_bytes)
+        if kernel.name != self.name:
+            raise DatasetError(f"builder for {self.name!r} produced "
+                               f"kernel {kernel.name!r}")
+        return kernel
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """One dataset sample: a kernel instantiated at (dtype, size)."""
+
+    kernel: KernelSpec
+    dtype: DType
+    size_bytes: int
+
+    @property
+    def sample_id(self) -> str:
+        return f"{self.kernel.name}:{self.dtype.value}:{self.size_bytes}"
+
+    def build(self) -> Kernel:
+        return self.kernel.build(self.dtype, self.size_bytes)
+
+
+def enumerate_samples(specs, sizes) -> list[SampleSpec]:
+    """The sample grid: every kernel x supported dtype x size."""
+    samples = []
+    for spec in specs:
+        for dtype in spec.dtypes:
+            for size in sizes:
+                samples.append(SampleSpec(spec, dtype, size))
+    return samples
+
+
+def profile_sizes(profile: str) -> tuple[int, ...]:
+    try:
+        return PROFILES[profile]
+    except KeyError:
+        raise DatasetError(f"unknown profile {profile!r}; available: "
+                           f"{sorted(PROFILES)}")

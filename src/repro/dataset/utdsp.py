@@ -1,0 +1,395 @@
+"""UTDSP suite ported to the kernel DSL (16 kernels).
+
+Digital-signal-processing kernels: filters, transforms, coders.  Three
+(adpcm, compress, histogram) are integer-only — their reference sources
+are fixed-point — which is how the dataset reaches the paper's 448
+samples (53 dual-type kernels + 6 integer-only ones).
+"""
+
+from __future__ import annotations
+
+from repro.ir.builder import KernelBuilder
+from repro.ir.expr import var
+from repro.ir.nodes import (
+    Compute,
+    Critical,
+    Load,
+    Loop,
+    OpKind,
+    ParallelFor,
+    Sequential,
+    Store,
+)
+from repro.ir.types import DType
+from repro.dataset._sizing import (
+    matrix_side,
+    pow2_floor,
+    vector_len,
+)
+
+SUITE = "utdsp"
+
+_TAPS = 16
+
+
+def _builder(name: str, dtype: DType, size: int) -> KernelBuilder:
+    return KernelBuilder(name, dtype, size, suite=SUITE)
+
+
+def fir(dtype: DType, size: int):
+    b = _builder("fir", dtype, size)
+    n = vector_len(size, 2)
+    x, y = b.array("x", n), b.array("y", n)
+    c = b.array("c", _TAPS)
+    i, t = var("i"), var("t")
+    b.parallel_for("i", 0, max(1, n - _TAPS), [
+        Loop("t", 0, _TAPS, [
+            Load(x.name, i + t), Load(c.name, t), b.mul_add(),
+        ]),
+        Store(y.name, i),
+    ])
+    return b.build()
+
+
+def iir(dtype: DType, size: int):
+    b = _builder("iir", dtype, size)
+    n = vector_len(size, 2)
+    nch = max(4, n // 128)                    # independent channels
+    nsamp = max(4, n // nch)
+    x, y = b.array("x", n), b.array("y", n)
+    ch, s = var("ch"), var("s")
+    b.parallel_for("ch", 0, nch, [
+        Loop("s", 2, nsamp, [
+            # direct-form-II biquad: feedback + feedforward taps
+            Load(x.name, ch * nsamp + s),
+            Load(y.name, ch * nsamp + s - 1), b.mul_add(),
+            Load(y.name, ch * nsamp + s - 2), b.mul_add(),
+            b.op(2),
+            Store(y.name, ch * nsamp + s),
+        ]),
+    ])
+    return b.build()
+
+
+def lmsfir(dtype: DType, size: int):
+    b = _builder("lmsfir", dtype, size)
+    taps = 32
+    n = vector_len(size, 2)
+    x, d = b.array("x", n), b.array("d", n)
+    w = b.array("w", taps)
+    s, j = var("s"), var("j")
+    steps = max(4, min(n - taps, 48))
+    error = Sequential([                      # e = d[s] - w . x[s:s+taps]
+        Loop("j0", 0, taps, [
+            Load(w.name, var("j0")), Load(x.name, s + var("j0")),
+            b.mul_add(),
+        ]),
+        Load(d.name, s), b.op(1),
+    ])
+    adapt = ParallelFor("j", 0, taps, [       # w[j] += mu * e * x[s+j]
+        Load(w.name, j), Load(x.name, s + j), b.mul_add(),
+        Store(w.name, j),
+    ])
+    b.sequential_for("s", 0, steps, [error, adapt])
+    return b.build()
+
+
+def latnrm(dtype: DType, size: int):
+    b = _builder("latnrm", dtype, size)
+    n = vector_len(size, 2)
+    order = 8
+    nch = max(4, n // 64)
+    nsamp = max(4, n // nch)
+    x, y = b.array("x", n), b.array("y", n)
+    k = b.array("kcoef", order)
+    ch, s, st = var("ch"), var("s"), var("st")
+    b.parallel_for("ch", 0, nch, [
+        Loop("s", 0, nsamp, [
+            Load(x.name, ch * nsamp + s),
+            Loop("st", 0, order, [            # lattice stages
+                Load(k.name, st), b.mul_add(), b.op(1),
+            ]),
+            b.div(1),                         # normalisation divide
+            Store(y.name, ch * nsamp + s),
+        ]),
+    ])
+    return b.build()
+
+
+def mult(dtype: DType, size: int):
+    b = _builder("mult", dtype, size)
+    n = matrix_side(size, 3)
+    n4 = max(1, n // 4)
+    A, B, C = (b.array(x, n * n) for x in "ABC")
+    i, j, k = var("i"), var("j"), var("k")
+    b.parallel_for("i", 0, n, [
+        Loop("j", 0, n, [
+            Loop("k", 0, n4, [                # 4x unrolled MAC chain
+                Load(A.name, i * n + k * 4), Load(B.name, (k * 4) * n + j),
+                b.mul_add(),
+                Load(A.name, i * n + k * 4 + 1),
+                Load(B.name, (k * 4 + 1) * n + j), b.mul_add(),
+                Load(A.name, i * n + k * 4 + 2),
+                Load(B.name, (k * 4 + 2) * n + j), b.mul_add(),
+                Load(A.name, i * n + k * 4 + 3),
+                Load(B.name, (k * 4 + 3) * n + j), b.mul_add(),
+            ]),
+            Store(C.name, i * n + j),
+        ]),
+    ])
+    return b.build()
+
+
+def fft(dtype: DType, size: int):
+    b = _builder("fft", dtype, size)
+    n = pow2_floor(vector_len(size, 2))
+    re, im = b.array("re", n), b.array("im", n)
+    stages = []
+    span = 2
+    stage = 0
+    while span <= n:
+        half = span // 2
+        groups = n // span
+        g, k = var(f"g{stage}"), var(f"k{stage}")
+        base = g * span + k
+        stages.append(ParallelFor(f"g{stage}", 0, groups, [
+            Loop(f"k{stage}", 0, half, [
+                Load(re.name, base), Load(im.name, base),
+                Load(re.name, base + half), Load(im.name, base + half),
+                b.op(6),                      # complex twiddle multiply+add
+                Store(re.name, base), Store(im.name, base),
+                Store(re.name, base + half), Store(im.name, base + half),
+            ]),
+        ]))
+        span *= 2
+        stage += 1
+    for region in stages:
+        b.add_region(region)
+    return b.build()
+
+
+def adpcm(dtype: DType, size: int):
+    b = _builder("adpcm", dtype, size)
+    n = vector_len(size, 2)
+    nblk = 16
+    blk = max(2, n // nblk)
+    x, code = b.array("x", n), b.array("code", n)
+    bb, s = var("b"), var("s")
+    b.parallel_for("b", 0, nblk, [
+        Loop("s", 0, blk, [
+            Load(x.name, bb * blk + s),
+            Compute(OpKind.ALU, 4),           # predictor + delta
+            Compute(OpKind.DIV, 1),           # quantisation divide
+            Compute(OpKind.JUMP, 2),          # sign / step-size branches
+            Compute(OpKind.ALU, 3),           # index clamp, step update
+            Store(code.name, bb * blk + s),
+        ]),
+    ])
+    return b.build()
+
+
+def compress(dtype: DType, size: int):
+    b = _builder("compress", dtype, size)
+    n = vector_len(size, 2)
+    nblk = max(1, n // 64)                    # 8x8 blocks
+    img, out = b.array("img", n), b.array("out", n)
+    blk, u, xx = var("blk"), var("u"), var("x")
+    b.parallel_for("blk", 0, nblk, [
+        Loop("u", 0, 8, [                     # row DCT
+            Loop("x", 0, 8, [
+                Load(img.name, blk * 64 + u * 8 + xx),
+                Compute(OpKind.ALU, 2),
+            ]),
+            Store(out.name, blk * 64 + u * 8),
+        ]),
+        Loop("v", 0, 8, [                     # column DCT
+            Loop("y", 0, 8, [
+                Load(out.name, blk * 64 + var("y") * 8 + var("v")),
+                Compute(OpKind.ALU, 2),
+            ]),
+            Compute(OpKind.DIV, 1),           # quantisation
+            Store(out.name, blk * 64 + var("v")),
+        ]),
+    ])
+    return b.build()
+
+
+def edge_detect(dtype: DType, size: int):
+    b = _builder("edge_detect", dtype, size)
+    n = matrix_side(size, 2)
+    img, out = b.array("img", n * n), b.array("out", n * n)
+    i, j = var("i"), var("j")
+    taps = []
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            taps.append(Load(img.name, (i + di) * n + j + dj))
+            taps.append(b.mul_add())
+    b.parallel_for("i", 1, n - 1, [
+        Loop("j", 1, n - 1, taps + [
+            Compute(OpKind.JUMP, 1),          # threshold branch
+            b.op(1),
+            Store(out.name, i * n + j),
+        ]),
+    ])
+    return b.build()
+
+
+def histogram(dtype: DType, size: int):
+    b = _builder("histogram", dtype, size)
+    bins = 64
+    n = max(8, (size // 4) - bins)
+    img = b.array("img", n)
+    hist = b.array("hist", bins)
+    i = var("i")
+    b.parallel_for("i", 0, n, [
+        Load(img.name, i),
+        Compute(OpKind.ALU, 2),               # bin index computation
+        Critical([                            # atomic histogram update
+            Load(hist.name, i * 7),           # pseudo-random bin (mod len)
+            Compute(OpKind.ALU, 1),
+            Store(hist.name, i * 7),
+        ], name="hist_update"),
+    ])
+    return b.build()
+
+
+def spectral(dtype: DType, size: int):
+    b = _builder("spectral", dtype, size)
+    nlags = 64
+    n = max(nlags * 2, (size // 4) - nlags)
+    x = b.array("x", n)
+    r = b.array("r", nlags)
+    k, i = var("k"), var("i")
+    b.parallel_for("k", 0, nlags, [           # autocorrelation per lag
+        Loop("i", 0, -1 * k + n, [
+            Load(x.name, i), Load(x.name, i + k), b.mul_add(),
+        ]),
+        b.div(1),
+        Store(r.name, k),
+    ])
+    return b.build()
+
+
+def decimate(dtype: DType, size: int):
+    b = _builder("decimate", dtype, size)
+    n = vector_len(size, 2)
+    nout = max(2, n // 4)
+    x, y = b.array("x", n), b.array("y", nout)
+    c = b.array("c", _TAPS)
+    i, t = var("i"), var("t")
+    b.parallel_for("i", 0, max(1, nout - _TAPS // 4), [
+        Loop("t", 0, _TAPS, [
+            Load(x.name, i * 4 + t), Load(c.name, t), b.mul_add(),
+        ]),
+        Store(y.name, i),
+    ])
+    return b.build()
+
+
+def fir2dim(dtype: DType, size: int):
+    b = _builder("fir2dim", dtype, size)
+    n = matrix_side(size, 2)
+    img, out = b.array("img", n * n), b.array("out", n * n)
+    coef = b.array("coef", 9)
+    i, j = var("i"), var("j")
+    body = []
+    idx = 0
+    for di in (-1, 0, 1):
+        for dj in (-1, 0, 1):
+            body.append(Load(img.name, (i + di) * n + j + dj))
+            body.append(Load(coef.name, idx))
+            body.append(b.mul_add())
+            idx += 1
+    b.parallel_for("i", 1, n - 1, [
+        Loop("j", 1, n - 1, body + [Store(out.name, i * n + j)]),
+    ])
+    return b.build()
+
+
+def dot_product(dtype: DType, size: int):
+    b = _builder("dot_product", dtype, size)
+    nparts = 8
+    n = vector_len(size, 2)
+    chunk = max(1, n // nparts)
+    x, y = b.array("x", n), b.array("y", n)
+    psum = b.array("psum", nparts)
+    c, i = var("c"), var("i")
+    b.parallel_for("c", 0, nparts, [          # partial dot products
+        Loop("i", c * chunk, (c + 1) * chunk, [
+            Load(x.name, i), Load(y.name, i), b.mul_add(),
+        ]),
+        Store(psum.name, c),
+    ])
+    b.sequential([                            # master combines partials
+        Loop("p", 0, nparts, [
+            Load(psum.name, var("p")), b.op(1),
+        ]),
+    ])
+    return b.build()
+
+
+def wavelet(dtype: DType, size: int):
+    b = _builder("wavelet", dtype, size)
+    n = pow2_floor(vector_len(size, 2))
+    x, d = b.array("x", n), b.array("d", n)
+    half = n // 2
+    i, i2 = var("i"), var("i2")
+    b.parallel_for("i", 0, half - 1, [        # predict (stride-2 loads)
+        Load(x.name, i * 2 + 1), Load(x.name, i * 2),
+        Load(x.name, i * 2 + 2), b.op(2),
+        Store(d.name, i),
+    ])
+    b.parallel_for("i2", 1, half, [           # update
+        Load(x.name, i2 * 2), Load(d.name, i2 - 1), Load(d.name, i2),
+        b.op(2),
+        Store(x.name, i2),
+    ])
+    return b.build()
+
+
+def snr(dtype: DType, size: int):
+    b = _builder("snr", dtype, size)
+    nparts = 8
+    n = vector_len(size, 2)
+    chunk = max(1, n // nparts)
+    sig, noise = b.array("sig", n), b.array("noise", n)
+    acc = b.array("acc", nparts * 2)
+    c, i = var("c"), var("i")
+    b.parallel_for("c", 0, nparts, [
+        Loop("i", c * chunk, (c + 1) * chunk, [
+            Load(sig.name, i), b.mul_add(),       # signal power
+            Load(noise.name, i), b.mul_add(),     # noise power
+        ]),
+        Store(acc.name, c), Store(acc.name, c + nparts),
+    ])
+    b.sequential([
+        Loop("p", 0, nparts, [
+            Load(acc.name, var("p")),
+            Load(acc.name, var("p") + nparts), b.op(2),
+        ]),
+        b.div(1),                              # power ratio
+    ])
+    return b.build()
+
+
+#: kernel name -> builder; integer-only kernels marked by INT_ONLY.
+UTDSP_KERNELS = {
+    "fir": fir,
+    "iir": iir,
+    "lmsfir": lmsfir,
+    "latnrm": latnrm,
+    "mult": mult,
+    "fft": fft,
+    "adpcm": adpcm,
+    "compress": compress,
+    "edge_detect": edge_detect,
+    "histogram": histogram,
+    "spectral": spectral,
+    "decimate": decimate,
+    "fir2dim": fir2dim,
+    "dot_product": dot_product,
+    "wavelet": wavelet,
+    "snr": snr,
+}
+
+INT_ONLY = ("adpcm", "compress", "histogram")

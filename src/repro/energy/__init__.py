@@ -1,0 +1,34 @@
+"""Energy model and accounting (paper Table I).
+
+The paper characterises every cluster component with per-event /
+per-cycle energies in femtojoules, derived from post place-and-route
+power analysis at 0.65 V.  We reproduce Table I verbatim as the default
+:class:`EnergyModel` and integrate it over simulation counters to obtain
+``E(kernel, n_cores)``.
+"""
+
+from repro.energy.model import (
+    DmaEnergy,
+    EnergyModel,
+    FpuEnergy,
+    IcacheEnergy,
+    MemBankEnergy,
+    OtherEnergy,
+    PeEnergy,
+)
+from repro.energy.accounting import EnergyBreakdown, compute_energy
+from repro.energy.report import format_breakdown, format_model_table
+
+__all__ = [
+    "EnergyModel",
+    "PeEnergy",
+    "FpuEnergy",
+    "MemBankEnergy",
+    "IcacheEnergy",
+    "DmaEnergy",
+    "OtherEnergy",
+    "EnergyBreakdown",
+    "compute_energy",
+    "format_breakdown",
+    "format_model_table",
+]

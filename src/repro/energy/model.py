@@ -1,0 +1,157 @@
+"""Paper Table I as a dataclass tree.
+
+All values are femtojoules.  Per-cycle entries (leakage, idle, CG,
+``other.active``) integrate over cycles; per-event entries (ALU, read,
+use, transfer, ...) integrate over event counts.
+
+Ablation variants (:meth:`EnergyModel.zero_leakage`,
+:meth:`EnergyModel.scaled`) support the sensitivity experiments in
+``repro.experiments.ablation``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class PeEnergy:
+    """Processing element (RI5CY core) energies."""
+
+    leakage: float = 182.0      # per cycle
+    nop: float = 1212.0         # per active-wait cycle
+    alu: float = 2558.0         # per ALU-class opcode
+    fp: float = 2468.0          # per FP-class opcode (core-side cost)
+    l1: float = 3242.0          # per TCDM access opcode
+    l2: float = 1011.0          # per L2 access opcode (core-side cost)
+    cg: float = 20.0            # per clock-gated cycle
+
+
+@dataclass(frozen=True)
+class FpuEnergy:
+    """Shared floating-point unit energies."""
+
+    leakage: float = 191.0      # per cycle
+    operative: float = 299.0    # per FP op executed
+    idle: float = 0.0           # per idle cycle
+
+
+@dataclass(frozen=True)
+class MemBankEnergy:
+    """One scratchpad memory bank (TCDM or L2)."""
+
+    leakage: float             # per cycle
+    read: float                # per read
+    write: float               # per write
+    idle: float                # per idle cycle
+
+
+@dataclass(frozen=True)
+class IcacheEnergy:
+    """Shared instruction cache."""
+
+    leakage: float = 774.0      # per cycle
+    use: float = 4492.0         # per fetch
+    refill: float = 5932.0      # per line refill
+
+
+@dataclass(frozen=True)
+class DmaEnergy:
+    """Cluster DMA engine."""
+
+    leakage: float = 165.0      # per cycle
+    transfer: float = 1750.0    # per word transferred
+    idle: float = 46.0          # per idle cycle
+
+
+@dataclass(frozen=True)
+class OtherEnergy:
+    """Unmodelled cluster circuitry (interconnect, event unit, ...)."""
+
+    leakage: float = 655.0      # per cycle
+    active: float = 2702.0      # per active cycle
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Complete per-component model; defaults reproduce paper Table I."""
+
+    pe: PeEnergy = PeEnergy()
+    fpu: FpuEnergy = FpuEnergy()
+    l1_bank: MemBankEnergy = MemBankEnergy(
+        leakage=49.0, read=2543.0, write=2568.0, idle=64.0)
+    l2_bank: MemBankEnergy = MemBankEnergy(
+        leakage=105.0, read=2942.0, write=3480.0, idle=13.0)
+    icache: IcacheEnergy = IcacheEnergy()
+    dma: DmaEnergy = DmaEnergy()
+    other: OtherEnergy = OtherEnergy()
+
+    @staticmethod
+    def paper_table1() -> "EnergyModel":
+        """The model exactly as published (same as the defaults)."""
+        return EnergyModel()
+
+    # -- ablation variants ------------------------------------------------------
+
+    def zero_leakage(self) -> "EnergyModel":
+        """Variant with every per-cycle background cost removed."""
+        return EnergyModel(
+            pe=replace(self.pe, leakage=0.0, cg=0.0),
+            fpu=replace(self.fpu, leakage=0.0, idle=0.0),
+            l1_bank=replace(self.l1_bank, leakage=0.0, idle=0.0),
+            l2_bank=replace(self.l2_bank, leakage=0.0, idle=0.0),
+            icache=replace(self.icache, leakage=0.0),
+            dma=replace(self.dma, leakage=0.0, idle=0.0),
+            other=replace(self.other, leakage=0.0, active=0.0),
+        )
+
+    def scaled(self, leakage: float = 1.0, nop: float = 1.0) -> "EnergyModel":
+        """Variant scaling background costs and/or active-wait cost."""
+        def scale_bank(bank: MemBankEnergy) -> MemBankEnergy:
+            return replace(bank, leakage=bank.leakage * leakage,
+                           idle=bank.idle * leakage)
+
+        return EnergyModel(
+            pe=replace(self.pe, leakage=self.pe.leakage * leakage,
+                       nop=self.pe.nop * nop),
+            fpu=replace(self.fpu, leakage=self.fpu.leakage * leakage),
+            l1_bank=scale_bank(self.l1_bank),
+            l2_bank=scale_bank(self.l2_bank),
+            icache=replace(self.icache,
+                           leakage=self.icache.leakage * leakage),
+            dma=replace(self.dma, leakage=self.dma.leakage * leakage,
+                        idle=self.dma.idle * leakage),
+            other=replace(self.other, leakage=self.other.leakage * leakage,
+                          active=self.other.active * leakage),
+        )
+
+    def cache_key(self) -> str:
+        """Stable fingerprint for on-disk result caching."""
+        parts = []
+        for group_name in ("pe", "fpu", "l1_bank", "l2_bank", "icache",
+                           "dma", "other"):
+            group = getattr(self, group_name)
+            for field_name in sorted(group.__dataclass_fields__):
+                parts.append(f"{group_name}.{field_name}="
+                             f"{getattr(group, field_name):g}")
+        return ";".join(parts)
+
+    def as_rows(self) -> list[tuple[str, str, float]]:
+        """Flatten to (component, operating region, fJ) rows like Table I."""
+        rows: list[tuple[str, str, float]] = []
+        groups = [
+            ("Processing Element", self.pe),
+            ("FPU", self.fpu),
+            ("Memory Bank L1", self.l1_bank),
+            ("Memory Bank L2", self.l2_bank),
+            ("ICache", self.icache),
+            ("DMA", self.dma),
+            ("Other Cluster Components", self.other),
+        ]
+        for title, group in groups:
+            for field_name in group.__dataclass_fields__:
+                rows.append((title, field_name.upper() if field_name in
+                             ("nop", "alu", "fp", "cg") else
+                             field_name.capitalize(),
+                             getattr(group, field_name)))
+        return rows

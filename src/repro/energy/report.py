@@ -1,0 +1,41 @@
+"""Pretty-printing helpers for energy models and breakdowns."""
+
+from __future__ import annotations
+
+from repro.energy.accounting import EnergyBreakdown
+from repro.energy.model import EnergyModel
+
+
+def format_model_table(model: EnergyModel) -> str:
+    """Render the model the way paper Table I lays it out."""
+    lines = ["Operating Region              Energy [fJ]",
+             "-" * 42]
+    current_group = None
+    for group, region, value in model.as_rows():
+        if group != current_group:
+            lines.append(group)
+            current_group = group
+        lines.append(f"  {region:<26} {value:>10.0f}")
+    return "\n".join(lines)
+
+
+def format_breakdown(breakdown: EnergyBreakdown,
+                     label: str = "") -> str:
+    """Render a per-component energy breakdown with percentages."""
+    total = breakdown.total or 1.0
+    rows = [
+        ("Processing elements", breakdown.pe),
+        ("FPUs", breakdown.fpu),
+        ("TCDM banks", breakdown.l1),
+        ("L2 banks", breakdown.l2),
+        ("Instruction cache", breakdown.icache),
+        ("DMA", breakdown.dma),
+        ("Other cluster logic", breakdown.other),
+    ]
+    header = f"Energy breakdown {label}".rstrip()
+    lines = [header, "-" * max(42, len(header))]
+    for name, value in rows:
+        lines.append(f"  {name:<22} {value / 1e6:>12.3f} nJ "
+                     f"({100.0 * value / total:5.1f}%)")
+    lines.append(f"  {'TOTAL':<22} {breakdown.total / 1e6:>12.3f} nJ")
+    return "\n".join(lines)

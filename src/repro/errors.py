@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Raised when a kernel IR is structurally invalid."""
+
+
+class LoweringError(ReproError):
+    """Raised when the compiler cannot lower a kernel to core programs."""
+
+
+class LayoutError(ReproError):
+    """Raised when arrays cannot be placed in the cluster memories."""
+
+
+class SimulationError(ReproError):
+    """Raised when the cluster simulator reaches an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """Raised when a trace line or trace stream cannot be parsed."""
+
+
+class EnergyModelError(ReproError):
+    """Raised when energy accounting receives inconsistent counters."""
+
+
+class FeatureError(ReproError):
+    """Raised when a feature extractor is fed an unsupported kernel."""
+
+
+class DatasetError(ReproError):
+    """Raised when dataset construction fails or a sample is malformed."""
+
+
+class MLError(ReproError):
+    """Raised by the machine-learning stack (bad shapes, empty folds, ...)."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment cannot be assembled or reproduced."""

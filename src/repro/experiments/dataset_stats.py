@@ -1,0 +1,60 @@
+"""Dataset statistics (§IV.B).
+
+The paper reports 448 samples with every class holding between 5% and
+15% of the dataset except class 8, which holds 34.8%.  This experiment
+regenerates the class distribution plus per-suite/dtype/size breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dataset.build import Dataset
+from repro.dataset.table import ColumnTable
+
+
+@dataclass
+class DatasetStats:
+    n_samples: int
+    class_counts: dict = field(default_factory=dict)
+    suite_counts: dict = field(default_factory=dict)
+    dtype_counts: dict = field(default_factory=dict)
+    size_counts: dict = field(default_factory=dict)
+
+    def class_share(self, label: int) -> float:
+        return 100.0 * self.class_counts.get(label, 0) / self.n_samples
+
+    @property
+    def majority_label(self) -> int:
+        return max(self.class_counts, key=self.class_counts.get)
+
+    def render(self) -> str:
+        classes = ColumnTable(["class", "samples", "share %"])
+        for label in sorted(self.class_counts):
+            classes.add_row(label, self.class_counts[label],
+                            self.class_share(label))
+        extras = ColumnTable(["group", "key", "samples"])
+        for key, count in sorted(self.suite_counts.items()):
+            extras.add_row("suite", key, count)
+        for key, count in sorted(self.dtype_counts.items()):
+            extras.add_row("dtype", key, count)
+        for key, count in sorted(self.size_counts.items()):
+            extras.add_row("size", key, count)
+        return "\n".join([
+            f"Dataset statistics ({self.n_samples} samples)",
+            classes.render(float_fmt="{:.1f}"), "",
+            extras.render(),
+        ])
+
+
+def run_dataset_stats(dataset: Dataset) -> DatasetStats:
+    stats = DatasetStats(n_samples=len(dataset))
+    stats.class_counts = dataset.class_distribution()
+    for sample in dataset.samples:
+        stats.suite_counts[sample.suite] = (
+            stats.suite_counts.get(sample.suite, 0) + 1)
+        stats.dtype_counts[sample.dtype] = (
+            stats.dtype_counts.get(sample.dtype, 0) + 1)
+        stats.size_counts[sample.size_bytes] = (
+            stats.size_counts.get(sample.size_bytes, 0) + 1)
+    return stats

@@ -1,0 +1,99 @@
+"""Figure 2: classification accuracy vs energy-tolerance threshold.
+
+Left panel: ``static-agg``, ``static-opt``, ``dynamic``, ``dynamic-opt``
+against the naive ``always-8`` policy.  Right panel: the static
+feature-set exploration (``static-raw+mca``, ``static-agg``,
+``static-agg+mca``, ``static-opt``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.build import Dataset
+from repro.dataset.table import ColumnTable
+from repro.errors import ExperimentError
+from repro.experiments.optsets import optimised_set
+from repro.experiments.runner import DEFAULT_TOLERANCES, cv_repeats
+from repro.features.sets import feature_names
+from repro.ml.metrics import mean_tolerance_curve
+from repro.ml.model_selection import repeated_cv_predict
+from repro.ml.tree import DecisionTreeClassifier
+
+PANELS: dict[str, tuple[str, ...]] = {
+    "left": ("static-agg", "static-opt", "dynamic", "dynamic-opt",
+             "always-8"),
+    "right": ("static-raw+mca", "static-agg", "static-agg+mca",
+              "static-opt"),
+}
+
+#: which base set each ``*-opt`` series prunes.
+_OPT_BASES = {"static-opt": "static-all", "dynamic-opt": "dynamic"}
+
+
+@dataclass
+class Figure2Result:
+    """Accuracy-vs-tolerance series for one panel."""
+
+    panel: str
+    tolerances: tuple
+    series: dict = field(default_factory=dict)       # name -> [accuracy]
+    opt_features: dict = field(default_factory=dict)  # name -> kept list
+
+    def accuracy_at(self, series_name: str, tolerance: int) -> float:
+        curve = self.series[series_name]
+        return curve[self.tolerances.index(tolerance)]
+
+    def render(self) -> str:
+        table = ColumnTable(["tol%"] + list(self.series))
+        for i, tol in enumerate(self.tolerances):
+            table.add_row(tol, *[self.series[name][i]
+                                 for name in self.series])
+        lines = [f"Figure 2 ({self.panel} panel): accuracy vs energy "
+                 f"tolerance", table.render()]
+        for name, kept in self.opt_features.items():
+            lines.append(f"{name} keeps {len(kept)} features: "
+                         f"{', '.join(kept)}")
+        return "\n".join(lines)
+
+
+def _series_curve(dataset: Dataset, names: list[str], tolerances,
+                  n_splits: int, repeats: int, seed: int) -> list[float]:
+    X = dataset.matrix(names)
+    y = dataset.labels
+    preds, _ = repeated_cv_predict(
+        lambda: DecisionTreeClassifier(random_state=seed), X, y,
+        n_splits=n_splits, repeats=repeats, seed=seed)
+    return mean_tolerance_curve(preds, dataset.energy_matrix,
+                                tolerances, dataset.team_sizes)
+
+
+def run_figure2(dataset: Dataset, panel: str = "left",
+                tolerances=DEFAULT_TOLERANCES, n_splits: int = 10,
+                repeats: int | None = None, seed: int = 0) -> Figure2Result:
+    """Regenerate one panel of Figure 2 on *dataset*."""
+    if panel not in PANELS:
+        raise ExperimentError(f"unknown panel {panel!r}; "
+                              f"expected one of {sorted(PANELS)}")
+    repeats = repeats if repeats is not None else cv_repeats()
+    result = Figure2Result(panel=panel, tolerances=tuple(tolerances))
+
+    for series_name in PANELS[panel]:
+        if series_name == "always-8":
+            preds = np.full(len(dataset), 8, dtype=int)
+            curve = mean_tolerance_curve(preds, dataset.energy_matrix,
+                                         tolerances, dataset.team_sizes)
+        elif series_name in _OPT_BASES:
+            base = feature_names(_OPT_BASES[series_name])
+            kept = optimised_set(dataset, base, n_splits=n_splits,
+                                 repeats=max(3, repeats // 2), seed=seed)
+            result.opt_features[series_name] = kept
+            curve = _series_curve(dataset, kept, tolerances, n_splits,
+                                  repeats, seed)
+        else:
+            curve = _series_curve(dataset, feature_names(series_name),
+                                  tolerances, n_splits, repeats, seed)
+        result.series[series_name] = curve
+    return result

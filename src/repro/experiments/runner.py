@@ -1,0 +1,34 @@
+"""Shared experiment plumbing: dataset loading and evaluation defaults.
+
+The evaluation protocol follows §IV.B: stratified 10-fold CV; the paper
+repeats it 100 times — our default is 10 repeats (set
+``REPRO_CV_REPEATS=100`` to match exactly; curves move by well under a
+point beyond ~10 repeats).
+
+``REPRO_PROFILE`` selects the dataset profile (``paper`` by default;
+``quick`` drops the largest payload size for faster cold builds).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.dataset.build import Dataset, build_dataset
+
+DEFAULT_TOLERANCES = tuple(range(0, 9))
+
+
+def cv_repeats(default: int = 10) -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_CV_REPEATS", default)))
+    except ValueError:
+        return default
+
+
+def active_profile(default: str = "paper") -> str:
+    return os.environ.get("REPRO_PROFILE", default)
+
+
+def load_dataset(profile: str | None = None, progress=None) -> Dataset:
+    """Build or reload the dataset for the active profile."""
+    return build_dataset(profile or active_profile(), progress=progress)

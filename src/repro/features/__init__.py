@@ -1,0 +1,41 @@
+"""Feature extraction (paper Tables II and III).
+
+Three static families (computable at compile time, no execution):
+
+* **RAW** — the Grewe et al. CGO'13 metrics adapted to PULP/OpenMP:
+  computational opcode count, TCDM access count, transferred bytes,
+  average parallel work-share iterations;
+* **AGG** — the aggregate combinations F1/F3/F4 of the RAW metrics;
+* **MCA** — LLVM-MCA-style machine-code-analyser statistics (uops per
+  cycle, IPC, reverse block throughput, per-port resource pressures).
+
+One dynamic family (requires simulation, paper Table III), collected per
+team size: idle/sleep cycle fractions, opcode class counts, TCDM bank
+read/write/idle/conflict counts.
+"""
+
+from repro.features.static_raw import RAW_FEATURES, extract_raw
+from repro.features.static_agg import AGG_FEATURES, extract_agg
+from repro.features.mca import MCA_FEATURES, extract_mca, mca_report
+from repro.features.dynamic import (
+    DYNAMIC_METRICS,
+    dynamic_feature_names,
+    extract_dynamic,
+)
+from repro.features.sets import FEATURE_SETS, feature_names, sample_vector
+
+__all__ = [
+    "RAW_FEATURES",
+    "extract_raw",
+    "AGG_FEATURES",
+    "extract_agg",
+    "MCA_FEATURES",
+    "extract_mca",
+    "mca_report",
+    "DYNAMIC_METRICS",
+    "dynamic_feature_names",
+    "extract_dynamic",
+    "FEATURE_SETS",
+    "feature_names",
+    "sample_vector",
+]

@@ -1,0 +1,50 @@
+"""Named feature sets used by the paper's experiments.
+
+Figure 2 evaluates: ``static-agg``, ``static-raw+mca``, ``static-agg+mca``
+and importance-pruned ``static-opt`` on the static side; ``dynamic`` and
+``dynamic-opt`` on the dynamic side.  The ``*-opt`` sets are derived at
+experiment time by pruning low-importance features, so they are not
+listed here — the base sets are.
+"""
+
+from __future__ import annotations
+
+from repro.errors import FeatureError
+from repro.features.dynamic import dynamic_feature_names
+from repro.features.mca import MCA_FEATURES
+from repro.features.static_agg import AGG_FEATURES
+from repro.features.static_raw import RAW_FEATURES
+
+FEATURE_SETS: dict[str, tuple[str, ...]] = {
+    "static-raw": RAW_FEATURES,
+    "static-agg": AGG_FEATURES,
+    "static-mca": MCA_FEATURES,
+    "static-raw+mca": RAW_FEATURES + MCA_FEATURES,
+    "static-agg+mca": AGG_FEATURES + MCA_FEATURES,
+    "static-all": RAW_FEATURES + AGG_FEATURES + MCA_FEATURES,
+    "dynamic": tuple(dynamic_feature_names()),
+}
+
+
+def feature_names(set_name: str) -> list[str]:
+    """The ordered feature names of a named set."""
+    try:
+        return list(FEATURE_SETS[set_name])
+    except KeyError:
+        raise FeatureError(
+            f"unknown feature set {set_name!r}; available: "
+            f"{sorted(FEATURE_SETS)}")
+
+
+def sample_vector(static: dict[str, float], dynamic: dict[str, float],
+                  names: list[str]) -> list[float]:
+    """Assemble one sample's vector for the given feature names."""
+    vector = []
+    for name in names:
+        if name in static:
+            vector.append(static[name])
+        elif name in dynamic:
+            vector.append(dynamic[name])
+        else:
+            raise FeatureError(f"sample has no feature {name!r}")
+    return vector

@@ -1,0 +1,34 @@
+"""AGG static features (paper Table IIa).
+
+The aggregate combinations used by Grewe et al. to feed their decision
+tree, restricted to the ones that survive on PULP:
+
+* ``F1 = transfer / (op + tcdm)`` — bytes moved per instruction;
+* ``F2`` is dropped (it needs the coalescing metric, meaningless on a
+  banked scratchpad);
+* ``F3 = avgws`` — parallel work per region;
+* ``F4 = op / tcdm`` — computation-to-memory ratio.
+"""
+
+from __future__ import annotations
+
+from repro.ir.nodes import Kernel
+from repro.features.static_raw import extract_raw
+
+AGG_FEATURES = ("F1", "F3", "F4")
+
+
+def agg_from_raw(raw: dict[str, float]) -> dict[str, float]:
+    """Combine RAW metrics into the AGG features (zero-safe)."""
+    denom_f1 = raw["op"] + raw["tcdm"]
+    denom_f4 = raw["tcdm"]
+    return {
+        "F1": raw["transfer"] / denom_f1 if denom_f1 else 0.0,
+        "F3": raw["avgws"],
+        "F4": raw["op"] / denom_f4 if denom_f4 else 0.0,
+    }
+
+
+def extract_agg(kernel: Kernel) -> dict[str, float]:
+    """Extract the AGG features directly from a kernel's IR."""
+    return agg_from_raw(extract_raw(kernel))

@@ -1,0 +1,47 @@
+"""Kernel intermediate representation.
+
+Kernels in the paper are C/OpenMP sources compiled to LLVM-IR; the static
+features are statistics of that IR.  Here kernels are expressed directly
+in a small structured IR: arrays, affine index expressions, counted
+compute ops, loops, OpenMP-style ``parallel for`` regions, barriers and
+critical sections.  The IR carries everything the static analysers
+(RAW/AGG/MCA features) and the compiler (lowering to per-core instruction
+streams) need.
+"""
+
+from repro.ir.expr import Affine, var
+from repro.ir.nodes import (
+    Array,
+    Barrier,
+    Compute,
+    Critical,
+    Kernel,
+    Load,
+    Loop,
+    OpKind,
+    ParallelFor,
+    Sequential,
+    SequentialFor,
+    Store,
+)
+from repro.ir.builder import KernelBuilder
+from repro.ir.validate import validate_kernel
+
+__all__ = [
+    "Affine",
+    "var",
+    "Array",
+    "Barrier",
+    "Compute",
+    "Critical",
+    "Kernel",
+    "Load",
+    "Loop",
+    "OpKind",
+    "ParallelFor",
+    "Sequential",
+    "SequentialFor",
+    "Store",
+    "KernelBuilder",
+    "validate_kernel",
+]

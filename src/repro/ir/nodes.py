@@ -1,0 +1,291 @@
+"""IR node definitions.
+
+A :class:`Kernel` is the unit the paper classifies: one ``void kernel(...)``
+function.  Its body is a sequence of *top-level regions*:
+
+* :class:`Sequential` — serial code executed by the master core while the
+  rest of the team sleeps in clock gating;
+* :class:`ParallelFor` — an OpenMP ``#pragma omp parallel for
+  schedule(static)`` loop, the only worksharing construct the PULP OpenMP
+  runtime of the paper supports;
+* :class:`Barrier` — an explicit team barrier.
+
+Inside loop bodies the leaves are counted compute ops (:class:`Compute`),
+affine memory accesses (:class:`Load`/:class:`Store`), nested
+:class:`Loop` nests and :class:`Critical` sections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterator, Mapping, Union
+
+from repro.errors import IRError
+from repro.ir.expr import Affine, AffineLike
+from repro.ir.types import DType
+
+
+class OpKind(Enum):
+    """Kind of a counted compute op."""
+
+    ALU = "alu"
+    FP = "fp"
+    DIV = "div"
+    FPDIV = "fpdiv"
+    JUMP = "jump"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class Array:
+    """A data array owned by the kernel.
+
+    ``space`` selects the placement: ``"l1"`` puts the array in the
+    on-cluster TCDM (the paper's default: every dataset instance fits in
+    the 64 KiB scratchpad), ``"l2"`` in the off-cluster L2 memory.
+    """
+
+    name: str
+    length: int
+    dtype: DType
+    space: str = "l1"
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise IRError(f"array {self.name!r} must have positive length")
+        if self.space not in ("l1", "l2"):
+            raise IRError(f"array {self.name!r}: unknown space {self.space!r}")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.length * self.dtype.size_bytes
+
+
+@dataclass(frozen=True)
+class Compute:
+    """*count* back-to-back ops of a single :class:`OpKind`."""
+
+    kind: OpKind
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise IRError(f"compute count must be positive, got {self.count}")
+
+
+@dataclass(frozen=True)
+class Load:
+    """A word load from ``array[index]``."""
+
+    array: str
+    index: Affine
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "index", Affine.wrap(self.index))
+
+
+@dataclass(frozen=True)
+class Store:
+    """A word store to ``array[index]``."""
+
+    array: str
+    index: Affine
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "index", Affine.wrap(self.index))
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A sequential counted loop ``for var in [lower, upper)``.
+
+    Bounds are affine in the enclosing loop variables, which is enough for
+    the rectangular and triangular nests of Polybench/UTDSP.
+    """
+
+    var: str
+    lower: AffineLike
+    upper: AffineLike
+    body: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lower", Affine.wrap(self.lower))
+        object.__setattr__(self, "upper", Affine.wrap(self.upper))
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.var.isidentifier():
+            raise IRError(f"loop variable {self.var!r} is not an identifier")
+        if not self.body:
+            raise IRError(f"loop over {self.var!r} has an empty body")
+
+
+@dataclass(frozen=True)
+class Critical:
+    """A lock-protected critical section executed inside a parallel loop."""
+
+    body: tuple
+    name: str = "omp_critical"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise IRError("critical section has an empty body")
+
+
+@dataclass(frozen=True)
+class DmaCopy:
+    """A blocking DMA transfer of *words* 32-bit words (L2 <-> TCDM).
+
+    The issuing core programs the cluster DMA (one descriptor write) and
+    sleeps clock-gated on the event unit until the transfer completes —
+    the memory-hierarchy extension the paper's conclusions announce.
+    ``direction`` is ``"in"`` (L2 -> TCDM) or ``"out"``.
+    """
+
+    words: int
+    direction: str = "in"
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise IRError(f"DMA transfer must move >= 1 word, "
+                          f"got {self.words}")
+        if self.direction not in ("in", "out"):
+            raise IRError(f"unknown DMA direction {self.direction!r}")
+
+
+@dataclass(frozen=True)
+class ParallelFor:
+    """``#pragma omp parallel for schedule(static)`` over ``[lower, upper)``.
+
+    Iterations are distributed in contiguous chunks over the team; an
+    implicit join barrier closes the region (``nowait`` removes it, as the
+    OpenMP clause does).  Bounds are compile-time constants, or affine in
+    the variables of enclosing :class:`SequentialFor` loops (the runtime
+    recomputes static chunks at every region entry).
+    """
+
+    var: str
+    lower: AffineLike
+    upper: AffineLike
+    body: tuple
+    nowait: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lower", Affine.wrap(self.lower))
+        object.__setattr__(self, "upper", Affine.wrap(self.upper))
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.var.isidentifier():
+            raise IRError(f"loop variable {self.var!r} is not an identifier")
+        if not self.body:
+            raise IRError(f"parallel loop over {self.var!r} has an empty body")
+
+
+@dataclass(frozen=True)
+class Sequential:
+    """Serial top-level code executed by the master core."""
+
+    body: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.body:
+            raise IRError("sequential region has an empty body")
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """An explicit team barrier between top-level regions."""
+
+
+@dataclass(frozen=True)
+class SequentialFor:
+    """A serial counted loop *around* parallel regions.
+
+    This is the ubiquitous embedded-OpenMP shape::
+
+        for (t = 0; t < steps; t++) {      // time steps / pivots / stages
+            #pragma omp parallel for
+            for (...) { ... }
+        }
+
+    The loop bounds are compile-time constants; the regions inside may
+    reference ``var`` in their loop bounds and index expressions.  Each
+    iteration re-opens its parallel regions, paying the full fork/join
+    tax — which is exactly what makes these kernels interesting for the
+    energy/parallelism trade-off.
+    """
+
+    var: str
+    lower: AffineLike
+    upper: AffineLike
+    body: tuple  # top-level regions: ParallelFor | Sequential | Barrier
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "lower", Affine.wrap(self.lower))
+        object.__setattr__(self, "upper", Affine.wrap(self.upper))
+        object.__setattr__(self, "body", tuple(self.body))
+        if not self.var.isidentifier():
+            raise IRError(f"loop variable {self.var!r} is not an identifier")
+        if not self.body:
+            raise IRError(f"sequential-for over {self.var!r} is empty")
+        if not self.lower.is_constant or not self.upper.is_constant:
+            raise IRError("sequential-for bounds must be compile-time "
+                          "constants")
+
+
+#: Statements allowed inside loop bodies.
+BodyStmt = Union[Compute, Load, Store, Loop, Critical, DmaCopy]
+#: Statements allowed at kernel top level.
+TopStmt = Union[Sequential, ParallelFor, Barrier, SequentialFor]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A complete dataset kernel instance.
+
+    ``size_bytes`` is the paper's *transfer* parameter: the total payload
+    the kernel works on.  ``meta`` carries provenance (suite name, notes).
+    """
+
+    name: str
+    dtype: DType
+    size_bytes: int
+    arrays: tuple
+    body: tuple
+    meta: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "arrays", tuple(self.arrays))
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(self, "meta", dict(self.meta))
+
+    def array(self, name: str) -> Array:
+        for arr in self.arrays:
+            if arr.name == name:
+                return arr
+        raise IRError(f"kernel {self.name!r} has no array {name!r}")
+
+    @property
+    def total_array_bytes(self) -> int:
+        return sum(arr.size_bytes for arr in self.arrays)
+
+    def parallel_regions(self) -> Iterator[ParallelFor]:
+        """All parallel regions, including those inside sequential-fors
+        (each such region yielded once, not once per iteration)."""
+        for stmt in self.body:
+            if isinstance(stmt, ParallelFor):
+                yield stmt
+            elif isinstance(stmt, SequentialFor):
+                for inner in stmt.body:
+                    if isinstance(inner, ParallelFor):
+                        yield inner
+
+
+def walk_body(stmts: tuple) -> Iterator[BodyStmt]:
+    """Depth-first walk over every statement of a loop body tree."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, Loop):
+            yield from walk_body(stmt.body)
+        elif isinstance(stmt, Critical):
+            yield from walk_body(stmt.body)

@@ -1,0 +1,40 @@
+"""Data types manipulated by the dataset kernels.
+
+The paper restricts itself to 32-bit integers and 32-bit single-precision
+floats (PULP's RI5CY cores have no double-precision support); compact 8/16
+bit types are explicitly left to future work.  We model the same two.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class DType(Enum):
+    """Element type of a kernel's data arrays."""
+
+    INT32 = "int32"
+    FP32 = "fp32"
+
+    @property
+    def size_bytes(self) -> int:
+        """Size in bytes of one element (both supported types are 32-bit)."""
+        return 4
+
+    @property
+    def is_float(self) -> bool:
+        """True when arithmetic on this type is routed to the shared FPUs."""
+        return self is DType.FP32
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def parse_dtype(text: str) -> DType:
+    """Parse ``"int32"``/``"fp32"`` (case-insensitive) into a :class:`DType`."""
+    normalized = text.strip().lower()
+    for dtype in DType:
+        if dtype.value == normalized:
+            return dtype
+    raise ValueError(f"unknown dtype {text!r}; expected one of "
+                     f"{[d.value for d in DType]}")

@@ -1,0 +1,112 @@
+"""Structural validation of kernel IR.
+
+Checks performed:
+
+* array names are unique; every memory access targets a declared array;
+* loop variables are unique along each nesting path and index expressions
+  only reference in-scope variables;
+* parallel regions appear only at top level or directly inside a
+  :class:`SequentialFor`; their bounds are affine in enclosing
+  sequential-for variables only;
+* a kernel has at least one parallel region (the paper's samples are
+  OpenMP kernels — a fully serial kernel has no scaling decision to make).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.nodes import (
+    Barrier,
+    Compute,
+    Critical,
+    DmaCopy,
+    Kernel,
+    Load,
+    Loop,
+    ParallelFor,
+    Sequential,
+    SequentialFor,
+    Store,
+)
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    names = [arr.name for arr in kernel.arrays]
+    if len(set(names)) != len(names):
+        raise IRError(f"kernel {kernel.name!r}: duplicate array names")
+    arrays = set(names)
+
+    if not any(True for _ in kernel.parallel_regions()):
+        raise IRError(f"kernel {kernel.name!r} has no parallel region")
+
+    _check_regions(kernel, kernel.body, arrays, outer=())
+
+
+def _check_regions(kernel: Kernel, regions: tuple, arrays: set,
+                   outer: tuple) -> None:
+    """Validate a sequence of top-level regions under *outer* seq vars."""
+    for stmt in regions:
+        if isinstance(stmt, ParallelFor):
+            if stmt.var in outer:
+                raise IRError(f"kernel {kernel.name!r}: parallel variable "
+                              f"{stmt.var!r} shadows an enclosing loop")
+            for bound in (stmt.lower, stmt.upper):
+                unbound = bound.variables() - set(outer)
+                if unbound:
+                    raise IRError(
+                        f"kernel {kernel.name!r}: parallel bounds use "
+                        f"variables {sorted(unbound)} not bound by an "
+                        f"enclosing sequential-for")
+            _check_body(kernel, stmt.body, arrays,
+                        scope=outer + (stmt.var,))
+        elif isinstance(stmt, Sequential):
+            _check_body(kernel, stmt.body, arrays, scope=outer)
+        elif isinstance(stmt, SequentialFor):
+            if outer:
+                raise IRError(f"kernel {kernel.name!r}: sequential-for "
+                              f"loops cannot nest")
+            if not any(isinstance(s, ParallelFor) for s in stmt.body):
+                raise IRError(f"kernel {kernel.name!r}: sequential-for "
+                              f"over {stmt.var!r} contains no parallel "
+                              f"region (use a plain Loop instead)")
+            _check_regions(kernel, stmt.body, arrays,
+                           outer=outer + (stmt.var,))
+        elif isinstance(stmt, Barrier):
+            continue
+        else:
+            raise IRError(f"kernel {kernel.name!r}: {type(stmt).__name__} "
+                          f"is not allowed at region level")
+
+
+def _check_body(kernel: Kernel, body: tuple, arrays: set,
+                scope: tuple) -> None:
+    for stmt in body:
+        if isinstance(stmt, (Load, Store)):
+            if stmt.array not in arrays:
+                raise IRError(f"kernel {kernel.name!r}: access to undeclared "
+                              f"array {stmt.array!r}")
+            unbound = stmt.index.variables() - set(scope)
+            if unbound:
+                raise IRError(f"kernel {kernel.name!r}: index uses unbound "
+                              f"variables {sorted(unbound)}")
+        elif isinstance(stmt, Loop):
+            if stmt.var in scope:
+                raise IRError(f"kernel {kernel.name!r}: loop variable "
+                              f"{stmt.var!r} shadows an enclosing loop")
+            for bound in (stmt.lower, stmt.upper):
+                unbound = bound.variables() - set(scope)
+                if unbound:
+                    raise IRError(f"kernel {kernel.name!r}: loop bound uses "
+                                  f"unbound variables {sorted(unbound)}")
+            _check_body(kernel, stmt.body, arrays, scope + (stmt.var,))
+        elif isinstance(stmt, Critical):
+            _check_body(kernel, stmt.body, arrays, scope)
+        elif isinstance(stmt, (Compute, DmaCopy)):
+            continue
+        elif isinstance(stmt, (ParallelFor, Sequential, Barrier,
+                               SequentialFor)):
+            raise IRError(f"kernel {kernel.name!r}: {type(stmt).__name__} "
+                          f"cannot be nested inside a loop body")
+        else:
+            raise IRError(f"kernel {kernel.name!r}: unexpected statement "
+                          f"{type(stmt).__name__}")

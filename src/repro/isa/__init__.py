@@ -1,0 +1,54 @@
+"""Abstract RI5CY-class instruction set used by the lowered kernels.
+
+The simulator does not model a bit-accurate RISC-V pipeline; it models the
+*classes* of instructions that the paper's energy model (Table I) and
+dynamic features (Table III) distinguish: ALU-like integer work, floating
+point work routed to the shared FPUs, TCDM (L1) and L2 memory accesses,
+taken branches, explicit NOPs, long-latency dividers and the
+synchronisation primitives of the OpenMP runtime.
+"""
+
+from repro.isa.opcodes import (
+    OP_ALU,
+    OP_DIV,
+    OP_FDIV,
+    OP_FP,
+    OP_JMP,
+    OP_LD,
+    OP_LD2,
+    OP_LOCK,
+    OP_NOP,
+    OP_ST,
+    OP_ST2,
+    OP_UNLOCK,
+    OPCODE_NAMES,
+    Instr,
+    is_l1_access,
+    is_l2_access,
+    pack_lock,
+    unpack_lock,
+)
+from repro.isa.encoding import format_instr, parse_instr
+
+__all__ = [
+    "OP_ALU",
+    "OP_FP",
+    "OP_LD",
+    "OP_ST",
+    "OP_LD2",
+    "OP_ST2",
+    "OP_JMP",
+    "OP_NOP",
+    "OP_DIV",
+    "OP_FDIV",
+    "OP_LOCK",
+    "OP_UNLOCK",
+    "OPCODE_NAMES",
+    "Instr",
+    "is_l1_access",
+    "is_l2_access",
+    "pack_lock",
+    "unpack_lock",
+    "format_instr",
+    "parse_instr",
+]

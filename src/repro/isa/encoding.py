@@ -1,0 +1,65 @@
+"""Textual rendering and parsing of lowered instructions.
+
+The format mirrors how GVSOC's instruction traces look once filtered: a
+mnemonic followed by an optional operand.  It is used by the trace writer
+(``cluster/pe<i>/insn`` events) and by tests that round-trip instruction
+streams through text.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceError
+from repro.isa.opcodes import (
+    OP_LOCK,
+    OP_UNLOCK,
+    OPCODE_NAMES,
+    is_l1_access,
+    is_l2_access,
+    pack_lock,
+    unpack_lock,
+    validate_opcode,
+)
+
+_NAME_TO_OP = {name: op for op, name in enumerate(OPCODE_NAMES)}
+
+
+def format_instr(op: int, arg: int) -> str:
+    """Render an ``(op, arg)`` pair as trace text, e.g. ``lw bank=3``."""
+    validate_opcode(op)
+    name = OPCODE_NAMES[op]
+    if op in (OP_LOCK, OP_UNLOCK):
+        lock_id, bank = unpack_lock(arg)
+        return f"{name} id={lock_id} bank={bank}"
+    if is_l1_access(op) or is_l2_access(op):
+        return f"{name} bank={arg}"
+    return f"{name} n={arg}"
+
+
+def parse_instr(text: str) -> tuple[int, int]:
+    """Parse the output of :func:`format_instr` back into ``(op, arg)``."""
+    parts = text.split()
+    if not parts:
+        raise TraceError("empty instruction text")
+    name = parts[0]
+    if name not in _NAME_TO_OP:
+        raise TraceError(f"unknown mnemonic {name!r}")
+    op = _NAME_TO_OP[name]
+    fields = {}
+    for token in parts[1:]:
+        key, _, value = token.partition("=")
+        if not value:
+            raise TraceError(f"malformed operand {token!r} in {text!r}")
+        try:
+            fields[key] = int(value)
+        except ValueError as exc:
+            raise TraceError(f"non-integer operand in {text!r}") from exc
+    if op in (OP_LOCK, OP_UNLOCK):
+        try:
+            return op, pack_lock(fields["id"], fields["bank"])
+        except KeyError as exc:
+            raise TraceError(f"missing lock operand in {text!r}") from exc
+    if is_l1_access(op) or is_l2_access(op):
+        if "bank" not in fields:
+            raise TraceError(f"missing bank operand in {text!r}")
+        return op, fields["bank"]
+    return op, fields.get("n", 1)

@@ -1,0 +1,69 @@
+"""Random forest on top of the CART tree (robustness extension).
+
+The paper's model is a single decision tree; reference [7] of the paper
+uses random forests for OpenMP energy prediction.  We ship a small
+bagged-forest implementation both as an ablation (does bagging close the
+static/dynamic gap?) and as a stress test of the tree implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART trees with per-node feature sampling."""
+
+    def __init__(self, n_estimators: int = 50,
+                 max_depth: int | None = None,
+                 min_samples_leaf: int = 1,
+                 max_features: int | str | None = "sqrt",
+                 random_state: int | None = None) -> None:
+        if n_estimators < 1:
+            raise MLError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+        self.classes_: np.ndarray | None = None
+        self.feature_importances_: np.ndarray | None = None
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if len(X) != len(y) or len(X) == 0:
+            raise MLError("X and y must be non-empty and aligned")
+        rng = np.random.default_rng(self.random_state)
+        self.classes_ = np.unique(y)
+        self.trees_ = []
+        importances = np.zeros(X.shape[1])
+        for b in range(self.n_estimators):
+            idx = rng.integers(0, len(X), size=len(X))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                random_state=int(rng.integers(0, 2**31 - 1)))
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = (importances / total if total > 0
+                                     else importances)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if not self.trees_:
+            raise MLError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        votes = np.zeros((len(X), len(self.classes_)), dtype=int)
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self.trees_:
+            for i, pred in enumerate(tree.predict(X)):
+                votes[i, class_index[pred]] += 1
+        return self.classes_[votes.argmax(axis=1)]

@@ -1,0 +1,260 @@
+"""CART decision tree with gini impurity (numpy implementation).
+
+Supports the knobs the reproduction needs: depth/leaf-size limits,
+per-node feature subsampling (for the random forest), deterministic
+tie-breaking, gini feature importances normalised to sum to one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MLError
+
+
+class _Node:
+    """One tree node; leaves carry a class distribution."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, feature: int = -1, threshold: float = 0.0,
+                 left=None, right=None, value=None) -> None:
+        self.feature = feature
+        self.threshold = threshold
+        self.left = left
+        self.right = right
+        self.value = value
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.value is not None
+
+
+def _gini(class_counts: np.ndarray) -> float:
+    total = class_counts.sum()
+    if total <= 0:
+        return 0.0
+    p = class_counts / total
+    return float(1.0 - np.dot(p, p))
+
+
+class DecisionTreeClassifier:
+    """CART classifier (gini criterion, binary splits on thresholds)."""
+
+    def __init__(self, max_depth: int | None = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features: int | str | None = None,
+                 random_state: int | None = None) -> None:
+        if min_samples_split < 2:
+            raise MLError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise MLError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self.classes_: np.ndarray | None = None
+        self.n_features_: int = 0
+        self.feature_importances_: np.ndarray | None = None
+        self.n_nodes_: int = 0
+
+    # -- fitting ------------------------------------------------------------------
+
+    def fit(self, X, y) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise MLError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise MLError(f"X and y disagree: {len(X)} vs {len(y)}")
+        if len(X) == 0:
+            raise MLError("cannot fit on an empty dataset")
+
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        self._n_classes = len(self.classes_)
+        self._rng = np.random.default_rng(self.random_state)
+        self._importance = np.zeros(self.n_features_)
+        self._n_total = len(X)
+        self.n_nodes_ = 0
+
+        n_feat = self._resolve_max_features()
+        self._root = self._grow(X, y_enc, depth=0, n_feat=n_feat)
+
+        total = self._importance.sum()
+        self.feature_importances_ = (self._importance / total if total > 0
+                                     else self._importance.copy())
+        return self
+
+    def _resolve_max_features(self) -> int:
+        if self.max_features is None:
+            return self.n_features_
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        if self.max_features == "log2":
+            return max(1, int(np.log2(self.n_features_)))
+        n = int(self.max_features)
+        if not 1 <= n <= self.n_features_:
+            raise MLError(f"max_features {n} outside [1, "
+                          f"{self.n_features_}]")
+        return n
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int,
+              n_feat: int) -> _Node:
+        """Grow the tree iteratively (degenerate data can produce paths
+        hundreds of nodes deep, beyond Python's recursion limit)."""
+        root = _Node()
+        stack = [(X, y, depth, root)]
+        while stack:
+            X_node, y_node, node_depth, node = stack.pop()
+            self.n_nodes_ += 1
+            counts = np.bincount(y_node,
+                                 minlength=self._n_classes).astype(float)
+            node_gini = _gini(counts)
+            n = len(y_node)
+
+            split = None
+            if (node_gini > 0.0 and n >= self.min_samples_split
+                    and (self.max_depth is None
+                         or node_depth < self.max_depth)):
+                split = self._best_split(X_node, y_node, counts,
+                                         node_gini, n_feat)
+            if split is None:
+                node.value = counts
+                continue
+
+            feature, threshold, gain = split
+            mask = X_node[:, feature] <= threshold
+            n_left = int(mask.sum())
+            if n_left == 0 or n_left == n:  # degenerate split: leaf
+                node.value = counts
+                continue
+            self._importance[feature] += (n / self._n_total) * gain
+            node.feature = feature
+            node.threshold = threshold
+            node.left = _Node()
+            node.right = _Node()
+            stack.append((X_node[mask], y_node[mask], node_depth + 1,
+                          node.left))
+            stack.append((X_node[~mask], y_node[~mask], node_depth + 1,
+                          node.right))
+        return root
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray,
+                    counts: np.ndarray, node_gini: float,
+                    n_feat: int):
+        n = len(y)
+        min_leaf = self.min_samples_leaf
+        best_gain = 1e-12
+        best = None
+
+        if n_feat < self.n_features_:
+            candidates = self._rng.choice(self.n_features_, size=n_feat,
+                                          replace=False)
+            candidates.sort()
+        else:
+            candidates = range(self.n_features_)
+
+        onehot = np.zeros((n, self._n_classes))
+        onehot[np.arange(n), y] = 1.0
+
+        for feature in candidates:
+            column = X[:, feature]
+            order = np.argsort(column, kind="mergesort")
+            sorted_col = column[order]
+            # cumulative class counts left of each split position
+            left_counts = np.cumsum(onehot[order], axis=0)
+            # valid split positions: between distinct values, honouring
+            # the minimum leaf size
+            distinct = sorted_col[:-1] < sorted_col[1:]
+            positions = np.nonzero(distinct)[0] + 1  # left side size
+            if min_leaf > 1:
+                positions = positions[(positions >= min_leaf)
+                                      & (positions <= n - min_leaf)]
+            elif len(positions):
+                positions = positions[(positions >= 1)
+                                      & (positions <= n - 1)]
+            if not len(positions):
+                continue
+            lc = left_counts[positions - 1]
+            rc = counts - lc
+            nl = positions.astype(float)
+            nr = n - nl
+            gini_l = 1.0 - np.einsum("ij,ij->i", lc, lc) / (nl * nl)
+            gini_r = 1.0 - np.einsum("ij,ij->i", rc, rc) / (nr * nr)
+            gains = node_gini - (nl / n) * gini_l - (nr / n) * gini_r
+            idx = int(np.argmax(gains))
+            if gains[idx] > best_gain:
+                best_gain = float(gains[idx])
+                pos = positions[idx]
+                threshold = (sorted_col[pos - 1] + sorted_col[pos]) / 2.0
+                if threshold >= sorted_col[pos]:
+                    # adjacent values one ulp apart: the midpoint rounds
+                    # up and would send every sample left — split on the
+                    # lower value instead so both children are non-empty
+                    threshold = float(sorted_col[pos - 1])
+                best = (int(feature), float(threshold), best_gain)
+        return best
+
+    # -- prediction -----------------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if self._root is None:
+            raise MLError("classifier is not fitted")
+
+    def predict(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise MLError(f"X must have shape (n, {self.n_features_})")
+        out = np.empty(len(X), dtype=int)
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = (node.left if row[node.feature] <= node.threshold
+                        else node.right)
+            out[i] = int(np.argmax(node.value))
+        return self.classes_[out]
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        probs = np.empty((len(X), self._n_classes))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                node = (node.left if row[node.feature] <= node.threshold
+                        else node.right)
+            total = node.value.sum() or 1.0
+            probs[i] = node.value / total
+        return probs
+
+    # -- introspection ----------------------------------------------------------------
+
+    def depth(self) -> int:
+        self._check_fitted()
+        deepest = 0
+        stack = [(self._root, 0)]
+        while stack:
+            node, level = stack.pop()
+            if node.is_leaf:
+                deepest = max(deepest, level)
+            else:
+                stack.append((node.left, level + 1))
+                stack.append((node.right, level + 1))
+        return deepest
+
+    def n_leaves(self) -> int:
+        self._check_fitted()
+        leaves = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                leaves += 1
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+        return leaves

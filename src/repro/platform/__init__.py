@@ -1,0 +1,13 @@
+"""Hardware description of the PULP cluster instance used in the paper.
+
+The paper targets the ``8c4f1p`` configuration of PULP: 8 RI5CY cores,
+4 shared single-stage FPUs with a fixed core-to-FPU mapping, a 64 KiB
+16-bank word-interleaved TCDM, a 512 KiB 32-bank L2 scratchpad 15 cycles
+away, a shared instruction cache, a cluster DMA and an event unit that
+implements barriers by clock-gating waiting cores.
+"""
+
+from repro.platform.config import ClusterConfig
+from repro.platform.memory import MemoryMap, bank_of_word
+
+__all__ = ["ClusterConfig", "MemoryMap", "bank_of_word"]

@@ -1,0 +1,119 @@
+"""Array placement in the cluster memories.
+
+Both the TCDM and the L2 scratchpad are word-interleaved across their
+banks: word address ``w`` lives in bank ``w % n_banks``.  The layout
+allocates arrays back to back (word aligned) exactly like the PULP
+``l1malloc`` bump allocator, and places one lock word per critical
+section at the end of the TCDM segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LayoutError
+from repro.ir.nodes import (
+    Critical,
+    Kernel,
+    Loop,
+    ParallelFor,
+    Sequential,
+    SequentialFor,
+)
+
+
+def bank_of_word(word_addr: int, n_banks: int) -> int:
+    """Bank index of a word address under word interleaving."""
+    return word_addr % n_banks
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Resolved placement of one array."""
+
+    name: str
+    space: str
+    base_word: int
+    length: int
+
+
+class MemoryMap:
+    """Assign every kernel array (and lock word) a base word address."""
+
+    def __init__(self, kernel: Kernel, n_l1_banks: int, n_l2_banks: int,
+                 tcdm_bytes: int, l2_bytes: int) -> None:
+        self.n_l1_banks = n_l1_banks
+        self.n_l2_banks = n_l2_banks
+        self._placements: dict[str, Placement] = {}
+        self._lock_banks: dict[str, int] = {}
+
+        l1_cursor = 0
+        l2_cursor = 0
+        for arr in kernel.arrays:
+            if arr.space == "l1":
+                placement = Placement(arr.name, "l1", l1_cursor, arr.length)
+                l1_cursor += arr.length
+            else:
+                placement = Placement(arr.name, "l2", l2_cursor, arr.length)
+                l2_cursor += arr.length
+            self._placements[arr.name] = placement
+
+        for section in _critical_sections(kernel):
+            if section not in self._lock_banks:
+                self._lock_banks[section] = bank_of_word(l1_cursor,
+                                                         n_l1_banks)
+                l1_cursor += 1
+
+        if l1_cursor * 4 > tcdm_bytes:
+            raise LayoutError(
+                f"kernel {kernel.name!r} needs {l1_cursor * 4} B of TCDM, "
+                f"only {tcdm_bytes} B available")
+        if l2_cursor * 4 > l2_bytes:
+            raise LayoutError(
+                f"kernel {kernel.name!r} needs {l2_cursor * 4} B of L2, "
+                f"only {l2_bytes} B available")
+        self.l1_words_used = l1_cursor
+        self.l2_words_used = l2_cursor
+
+    def placement(self, array_name: str) -> Placement:
+        try:
+            return self._placements[array_name]
+        except KeyError:
+            raise LayoutError(f"no placement for array {array_name!r}")
+
+    def base_word(self, array_name: str) -> int:
+        return self.placement(array_name).base_word
+
+    def space(self, array_name: str) -> str:
+        return self.placement(array_name).space
+
+    def lock_bank(self, section_name: str) -> int:
+        try:
+            return self._lock_banks[section_name]
+        except KeyError:
+            raise LayoutError(f"no lock word for section {section_name!r}")
+
+
+def _critical_sections(kernel: Kernel) -> list[str]:
+    """Names of critical sections in source order (deterministic layout)."""
+    names: list[str] = []
+
+    def visit(stmts) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Critical):
+                if stmt.name not in names:
+                    names.append(stmt.name)
+                visit(stmt.body)
+            elif isinstance(stmt, Loop):
+                visit(stmt.body)
+
+    def visit_region(region) -> None:
+        if isinstance(region, (ParallelFor, Sequential)):
+            visit(region.body)
+        elif isinstance(region, SequentialFor):
+            for inner in region.body:
+                visit_region(inner)
+
+    for region in kernel.body:
+        visit_region(region)
+    return names

@@ -1,0 +1,21 @@
+"""Cycle-level cluster simulator (the GVSOC substitute).
+
+The engine advances all cores in lockstep, arbitrating the shared
+resources that create the paper's energy trade-off: TCDM bank ports
+(one request per bank per cycle; losers stall and count a conflict),
+the 2-cores-per-FPU sharing, the 15-cycle L2 and the event unit that
+parks barrier waiters in clock gating.
+"""
+
+from repro.sim.counters import BankCounters, ClusterCounters, CoreCounters
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult, sweep_cores
+
+__all__ = [
+    "BankCounters",
+    "ClusterCounters",
+    "CoreCounters",
+    "simulate",
+    "SimulationResult",
+    "sweep_cores",
+]

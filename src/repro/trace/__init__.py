@@ -1,0 +1,36 @@
+"""GVSOC-style execution traces (the paper's trace-analysis software).
+
+The engine can stream its events as text lines shaped like GVSOC traces
+(``<cycle> <component-path> <payload>``).  The :class:`TraceAnalyser`
+re-parses those lines with regular expressions and dispatches them to a
+hierarchy of listeners — :class:`PULPListeners` holding 8
+:class:`CoreListener`, 16 :class:`L1BankListener` and 32
+:class:`L2BankListener` instances, exactly as §IV.A of the paper
+describes — from which the dynamic features and the energy counters can
+be rebuilt.  Tests assert that the rebuilt counters equal the engine's
+direct counters.
+"""
+
+from repro.trace.format import TRACE_LINE_RE, format_line, parse_line
+from repro.trace.writer import TraceWriter
+from repro.trace.listeners import (
+    CoreListener,
+    IcacheListener,
+    L1BankListener,
+    L2BankListener,
+    PULPListeners,
+)
+from repro.trace.analyser import TraceAnalyser
+
+__all__ = [
+    "TRACE_LINE_RE",
+    "format_line",
+    "parse_line",
+    "TraceWriter",
+    "CoreListener",
+    "L1BankListener",
+    "L2BankListener",
+    "IcacheListener",
+    "PULPListeners",
+    "TraceAnalyser",
+]

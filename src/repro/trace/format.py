@@ -1,0 +1,59 @@
+"""Trace line format.
+
+One event per line::
+
+    <cycle> <component-path> <payload>
+
+with component paths mirroring the GVSOC hierarchy the paper's listeners
+subscribe to:
+
+* ``cluster/pe<i>/insn``  — an issued instruction (mnemonic + operand);
+* ``cluster/pe<i>/trace`` — core state changes: ``cg_enter``/``cg_exit``
+  (clock gating) and ``stall <n>`` (active-wait cycles);
+* ``cluster/l1/bank<j>/trace`` — ``read``/``write``/``conflict``;
+* ``cluster/l2/bank<j>/trace`` — same for L2 banks;
+* ``cluster/icache/trace`` — ``refill n=<lines>``;
+* ``cluster/kernel/trace`` — ``begin``/``end`` markers of the measured
+  region (the paper's ``void kernel(...)`` window).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TraceError
+
+TRACE_LINE_RE = re.compile(r"^(\d+)\s+([\w/]+)\s+(.+)$")
+
+
+def format_line(cycle: int, path: str, payload: str) -> str:
+    return f"{cycle} {path} {payload}"
+
+
+def parse_line(line: str) -> tuple[int, str, str]:
+    """Split a trace line into ``(cycle, path, payload)``."""
+    match = TRACE_LINE_RE.match(line.strip())
+    if match is None:
+        raise TraceError(f"malformed trace line: {line!r}")
+    return int(match.group(1)), match.group(2), match.group(3)
+
+
+def pe_insn_path(core: int) -> str:
+    return f"cluster/pe{core}/insn"
+
+
+def pe_state_path(core: int) -> str:
+    return f"cluster/pe{core}/trace"
+
+
+def l1_bank_path(bank: int) -> str:
+    return f"cluster/l1/bank{bank}/trace"
+
+
+def l2_bank_path(bank: int) -> str:
+    return f"cluster/l2/bank{bank}/trace"
+
+
+ICACHE_PATH = "cluster/icache/trace"
+DMA_PATH = "cluster/dma/trace"
+KERNEL_PATH = "cluster/kernel/trace"

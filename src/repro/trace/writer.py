@@ -1,0 +1,61 @@
+"""Trace sink implementing the engine's callback protocol.
+
+Collects lines in memory (or streams them to a file-like object).  Line
+order is emission order; cycles within a line are authoritative, so
+consumers must not assume global cycle ordering (barrier releases emit
+exit events for several cores at once).
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.isa.encoding import format_instr
+from repro.trace.format import (
+    DMA_PATH,
+    ICACHE_PATH,
+    KERNEL_PATH,
+    format_line,
+    l1_bank_path,
+    l2_bank_path,
+    pe_insn_path,
+    pe_state_path,
+)
+
+
+class TraceWriter:
+    """Accumulates GVSOC-style trace lines from a simulation."""
+
+    def __init__(self, stream: IO[str] | None = None) -> None:
+        self.lines: list[str] = []
+        self._stream = stream
+
+    def _emit(self, cycle: int, path: str, payload: str) -> None:
+        line = format_line(cycle, path, payload)
+        if self._stream is not None:
+            self._stream.write(line + "\n")
+        else:
+            self.lines.append(line)
+
+    # -- engine callback protocol -------------------------------------------------
+
+    def instr(self, cycle: int, core: int, op: int, arg: int) -> None:
+        self._emit(cycle, pe_insn_path(core), format_instr(op, arg))
+
+    def core_state(self, cycle: int, core: int, state: str) -> None:
+        self._emit(cycle, pe_state_path(core), state)
+
+    def l1(self, cycle: int, bank: int, kind: str) -> None:
+        self._emit(cycle, l1_bank_path(bank), kind)
+
+    def l2(self, cycle: int, bank: int, kind: str) -> None:
+        self._emit(cycle, l2_bank_path(bank), kind)
+
+    def icache(self, cycle: int, kind: str, count: int = 1) -> None:
+        self._emit(cycle, ICACHE_PATH, f"{kind} n={count}")
+
+    def dma(self, cycle: int, words: int) -> None:
+        self._emit(cycle, DMA_PATH, f"transfer n={words}")
+
+    def kernel_marker(self, cycle: int, which: str) -> None:
+        self._emit(cycle, KERNEL_PATH, which)

@@ -1,0 +1,39 @@
+"""CLI tests for the dataset-free subcommands."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list_kernels(self, capsys):
+        assert main(["list-kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "custom" in out
+        assert len(out.strip().splitlines()) == 59
+
+    def test_energy_model(self, capsys):
+        assert main(["energy-model"]) == 0
+        out = capsys.readouterr().out
+        assert "Processing Element" in out
+        assert "1212" in out  # the NOP energy
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "stream_triad", "--dtype", "fp32",
+                     "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "<- minimum" in out
+        assert "TOTAL" in out
+
+    def test_mca(self, capsys):
+        assert main(["mca", "gemm", "--size", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "Reverse block throughput" in out
+
+    def test_unknown_kernel_errors(self):
+        with pytest.raises(Exception):
+            main(["simulate", "bogus_kernel"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,112 @@
+"""Tests for the DMA extension (the paper's announced future work)."""
+
+import pytest
+
+from repro.dataset.custom import dma_tiled_stream
+from repro.energy.accounting import compute_energy
+from repro.energy.model import EnergyModel
+from repro.errors import IRError
+from repro.ir import KernelBuilder, Load, Store
+from repro.ir.nodes import DmaCopy, ParallelFor, Sequential
+from repro.ir.expr import var
+from repro.ir.types import DType
+from repro.isa.encoding import format_instr, parse_instr
+from repro.isa.opcodes import OP_DMA
+from repro.sim.engine import simulate
+from repro.trace import TraceWriter
+from repro.trace.analyser import analyse_trace
+
+
+def _dma_kernel(words=32, teams_compute=16):
+    b = KernelBuilder("dma_t", DType.INT32, 512)
+    buf = b.array("buf", max(words, teams_compute))
+    b.sequential([DmaCopy(words, "in")])
+    i = var("i")
+    b.parallel_for("i", 0, teams_compute, [
+        Load(buf.name, i), b.op(1), Store(buf.name, i),
+    ])
+    b.sequential([DmaCopy(words, "out")])
+    return b.build()
+
+
+class TestDmaNode:
+    def test_rejects_bad_args(self):
+        with pytest.raises(IRError):
+            DmaCopy(0)
+        with pytest.raises(IRError):
+            DmaCopy(4, "sideways")
+
+    def test_encoding_roundtrip(self):
+        assert format_instr(OP_DMA, 64) == "dma n=64"
+        assert parse_instr("dma n=64") == (OP_DMA, 64)
+
+
+class TestDmaSemantics:
+    def test_transfers_counted(self):
+        counters = simulate(_dma_kernel(words=32), 2)
+        assert counters.dma_transfers == 64  # in + out
+
+    def test_core_sleeps_during_transfer(self):
+        kernel = _dma_kernel(words=200)
+        counters = simulate(kernel, 1)
+        # the master must spend at least the transfer time clock-gated
+        assert counters.cores[0].cg_cycles >= 2 * 200
+
+    def test_budget_invariant_holds(self):
+        for team in (1, 3, 8):
+            counters = simulate(_dma_kernel(), team)
+            counters.validate()
+
+    def test_single_channel_serialises(self):
+        # issuing two transfers back-to-back takes at least their sum
+        b = KernelBuilder("dma2", DType.INT32, 512)
+        b.array("buf", 8)
+        b.sequential([DmaCopy(100), DmaCopy(100)])
+        b.parallel_for("i", 0, 4, [Load("buf", var("i"))])
+        counters = simulate(b.build(), 1)
+        assert counters.cycles >= 200
+
+    def test_backend_equivalence(self):
+        kernel = _dma_kernel()
+        a = simulate(kernel, 4).as_dict()
+        b = simulate(kernel, 4, backend="interp").as_dict()
+        assert a == b
+
+
+class TestDmaEnergy:
+    def test_transfer_energy_charged(self):
+        model = EnergyModel.paper_table1()
+        counters = simulate(_dma_kernel(words=50), 2)
+        breakdown = compute_energy(counters, model)
+        floor = model.dma.transfer * 100  # 2 transfers of 50 words
+        assert breakdown.dma >= floor
+
+    def test_idle_cycles_reduced_by_busy_time(self):
+        model = EnergyModel.paper_table1()
+        counters = simulate(_dma_kernel(words=50), 2)
+        expected_idle = counters.cycles - 100
+        idle_part = (breakdown := compute_energy(counters, model)).dma \
+            - model.dma.leakage * counters.cycles \
+            - model.dma.transfer * 100
+        assert idle_part == pytest.approx(model.dma.idle * expected_idle)
+
+
+class TestDmaTrace:
+    def test_trace_equivalence_with_dma(self):
+        kernel = _dma_kernel()
+        writer = TraceWriter()
+        engine = simulate(kernel, 3, trace=writer)
+        rebuilt = analyse_trace(writer.lines).to_counters()
+        assert rebuilt.as_dict() == engine.as_dict()
+        assert any("cluster/dma/trace" in line for line in writer.lines)
+
+
+class TestDmaTiledKernel:
+    def test_tiled_beats_direct_l2_on_energy(self):
+        from repro.dataset.registry import get_kernel_spec
+        from repro.sim.results import sweep_cores
+        direct = get_kernel_spec("l2_stream").build(DType.INT32, 4096)
+        tiled = dma_tiled_stream(DType.INT32, 4096)
+        best_direct = min(r.total_energy_fj for r in sweep_cores(direct))
+        best_tiled = min(r.total_energy_fj for r in sweep_cores(tiled))
+        assert best_tiled < best_direct

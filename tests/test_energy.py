@@ -1,0 +1,128 @@
+"""Unit + property tests for the energy model and accounting."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.energy import EnergyModel, compute_energy, format_breakdown
+from repro.energy.report import format_model_table
+from repro.errors import EnergyModelError
+from repro.sim.counters import BankCounters, ClusterCounters, CoreCounters
+
+
+class TestModelValues:
+    """Table I values, verbatim from the paper."""
+
+    def test_processing_element(self):
+        pe = EnergyModel.paper_table1().pe
+        assert (pe.leakage, pe.nop, pe.alu, pe.fp, pe.l1, pe.l2, pe.cg) \
+            == (182.0, 1212.0, 2558.0, 2468.0, 3242.0, 1011.0, 20.0)
+
+    def test_fpu(self):
+        fpu = EnergyModel.paper_table1().fpu
+        assert (fpu.leakage, fpu.operative, fpu.idle) == (191.0, 299.0, 0.0)
+
+    def test_memory_banks(self):
+        model = EnergyModel.paper_table1()
+        assert (model.l1_bank.leakage, model.l1_bank.read,
+                model.l1_bank.write, model.l1_bank.idle) \
+            == (49.0, 2543.0, 2568.0, 64.0)
+        assert (model.l2_bank.leakage, model.l2_bank.read,
+                model.l2_bank.write, model.l2_bank.idle) \
+            == (105.0, 2942.0, 3480.0, 13.0)
+
+    def test_icache_dma_other(self):
+        model = EnergyModel.paper_table1()
+        assert (model.icache.leakage, model.icache.use,
+                model.icache.refill) == (774.0, 4492.0, 5932.0)
+        assert (model.dma.leakage, model.dma.transfer, model.dma.idle) \
+            == (165.0, 1750.0, 46.0)
+        assert (model.other.leakage, model.other.active) == (655.0, 2702.0)
+
+    def test_as_rows_covers_every_field(self):
+        rows = EnergyModel.paper_table1().as_rows()
+        assert len(rows) == 7 + 3 + 4 + 4 + 3 + 3 + 2
+        assert format_model_table(EnergyModel.paper_table1())
+
+    def test_zero_leakage_variant(self):
+        variant = EnergyModel.paper_table1().zero_leakage()
+        assert variant.pe.leakage == 0.0
+        assert variant.l1_bank.idle == 0.0
+        assert variant.other.active == 0.0
+        assert variant.pe.alu == 2558.0  # switching costs untouched
+
+    def test_scaled_variant(self):
+        variant = EnergyModel.paper_table1().scaled(leakage=2.0, nop=3.0)
+        assert variant.pe.leakage == 364.0
+        assert variant.pe.nop == 3636.0
+        assert variant.cache_key() != EnergyModel.paper_table1().cache_key()
+
+
+def _counters(cycles=100, **core0):
+    counters = ClusterCounters(n_cores=8, n_l1_banks=16, n_l2_banks=32,
+                               n_fpus=4)
+    counters.cycles = cycles
+    if core0:
+        counters.cores[0] = CoreCounters(**core0)
+    return counters
+
+
+class TestAccounting:
+    def test_idle_cluster_pays_background_only(self):
+        model = EnergyModel.paper_table1()
+        counters = _counters(cycles=10)
+        breakdown = compute_energy(counters, model)
+        # background per cycle: all leakages + idle states + other.active
+        per_cycle = (8 * 182 + 4 * 191 + 16 * (49 + 64) + 32 * (105 + 13)
+                     + 774 + (165 + 46) + (655 + 2702))
+        assert breakdown.total == pytest.approx(10 * per_cycle)
+
+    def test_alu_op_costs_alu_energy(self):
+        model = EnergyModel.paper_table1()
+        base = compute_energy(_counters(), model).total
+        plus = compute_energy(_counters(alu_ops=5), model).total
+        assert plus - base == pytest.approx(5 * 2558.0)
+
+    def test_jump_and_div_priced_as_alu_class(self):
+        model = EnergyModel.paper_table1()
+        base = compute_energy(_counters(), model).total
+        plus = compute_energy(_counters(jump_ops=2, div_ops=3),
+                              model).total
+        assert plus - base == pytest.approx(5 * 2558.0)
+
+    def test_stall_and_nop_priced_as_nop(self):
+        model = EnergyModel.paper_table1()
+        base = compute_energy(_counters(), model).total
+        plus = compute_energy(_counters(stall_cycles=4, nop_ops=2),
+                              model).total
+        assert plus - base == pytest.approx(6 * 1212.0)
+
+    def test_bank_read_replaces_idle_cycle(self):
+        model = EnergyModel.paper_table1()
+        counters = _counters()
+        counters.l1_banks[3] = BankCounters(reads=7)
+        delta = (compute_energy(counters, model).total
+                 - compute_energy(_counters(), model).total)
+        assert delta == pytest.approx(7 * (2543.0 - 64.0))
+
+    def test_overfull_bank_rejected(self):
+        counters = _counters(cycles=5)
+        counters.l1_banks[0] = BankCounters(reads=6)
+        with pytest.raises(EnergyModelError):
+            compute_energy(counters, EnergyModel.paper_table1())
+
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=1000))
+    def test_total_is_sum_of_components(self, alu, stalls):
+        breakdown = compute_energy(
+            _counters(alu_ops=alu, stall_cycles=stalls),
+            EnergyModel.paper_table1())
+        assert breakdown.total == pytest.approx(
+            breakdown.pe + breakdown.fpu + breakdown.l1 + breakdown.l2
+            + breakdown.icache + breakdown.dma + breakdown.other)
+
+    def test_breakdown_report_renders(self):
+        breakdown = compute_energy(_counters(alu_ops=5),
+                                   EnergyModel.paper_table1())
+        text = format_breakdown(breakdown, "(test)")
+        assert "TOTAL" in text and "Processing elements" in text

@@ -1,0 +1,55 @@
+"""Additional energy-accounting properties tied to the simulator."""
+
+import pytest
+
+from repro.energy.accounting import compute_energy
+from repro.energy.model import EnergyModel
+from repro.ir.types import DType
+from repro.sim.engine import simulate
+from tests.conftest import make_axpy, make_matmul
+
+
+class TestEnergyVsTeamSize:
+    def test_switching_energy_is_team_invariant_without_contention(self):
+        """With leakage zeroed and no contention, energy is pure
+        switching and barely depends on the team (only runtime overhead
+        instructions differ)."""
+        model = EnergyModel.paper_table1().zero_leakage()
+        kernel = make_matmul(DType.INT32, 512)
+        totals = []
+        for team in (1, 2, 4):
+            counters = simulate(kernel, team)
+            totals.append(compute_energy(counters, model).total)
+        spread = (max(totals) - min(totals)) / min(totals)
+        assert spread < 0.25
+
+    def test_leakage_scales_with_runtime(self):
+        kernel = make_matmul(DType.INT32, 1024)
+        model = EnergyModel.paper_table1()
+        zero = EnergyModel.paper_table1().zero_leakage()
+        c1 = simulate(kernel, 1)
+        c8 = simulate(kernel, 8)
+        leak1 = (compute_energy(c1, model).total
+                 - compute_energy(c1, zero).total)
+        leak8 = (compute_energy(c8, model).total
+                 - compute_energy(c8, zero).total)
+        # background energy is near-proportional to cycles (the residual
+        # comes from CG pricing and bank-idle complements, both small)
+        assert leak1 / leak8 == pytest.approx(c1.cycles / c8.cycles,
+                                              rel=0.05)
+
+    def test_fp_variant_costs_more_fpu_energy(self):
+        model = EnergyModel.paper_table1()
+        int_run = compute_energy(simulate(make_axpy(DType.INT32, 512), 4),
+                                 model)
+        fp_run = compute_energy(simulate(make_axpy(DType.FP32, 512), 4),
+                                model)
+        assert fp_run.fpu > int_run.fpu
+
+    def test_energy_vector_strictly_positive(self):
+        kernel = make_axpy(DType.FP32, 512)
+        model = EnergyModel.paper_table1()
+        for team in range(1, 9):
+            breakdown = compute_energy(simulate(kernel, team), model)
+            for value in breakdown.as_dict().values():
+                assert value > 0.0

@@ -1,0 +1,39 @@
+"""Smoke tests: every example script must run end to end."""
+
+import sys
+
+import pytest
+
+import examples.energy_exploration as energy_exploration
+import examples.quickstart as quickstart
+import examples.trace_inspection as trace_inspection
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        quickstart.main()
+        out = capsys.readouterr().out
+        assert "minimum-energy configuration" in out
+        assert "static features" in out
+
+    def test_energy_exploration(self, capsys):
+        energy_exploration.main()
+        out = capsys.readouterr().out
+        assert "TCDM pressure" in out
+        assert "optimum" in out
+
+    def test_trace_inspection(self, capsys):
+        trace_inspection.main()
+        out = capsys.readouterr().out
+        assert "match the engine exactly" in out
+
+    @pytest.mark.slow
+    def test_classify_unseen_kernel(self, capsys, monkeypatch):
+        import examples.classify_unseen_kernel as classify
+        monkeypatch.setattr(sys, "argv",
+                            ["classify_unseen_kernel.py",
+                             "--profile", "unit"])
+        classify.main()
+        out = capsys.readouterr().out
+        assert "predicted minimum-energy cores" in out
+        assert "verdict" in out

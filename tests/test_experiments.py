@@ -1,0 +1,120 @@
+"""Experiment driver tests on the tiny (real) dataset."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.dataset_stats import run_dataset_stats
+from repro.experiments.figure2 import PANELS, run_figure2
+from repro.experiments.headline import run_headline
+from repro.experiments.optsets import (
+    optimised_set,
+    prune_by_importance,
+    rank_features,
+)
+from repro.experiments.table4 import run_table4
+from repro.experiments.ablation import run_pruning_sweep
+from repro.features.sets import feature_names
+
+
+class TestOptsets:
+    def test_rank_features_orders_by_importance(self, tiny_dataset):
+        ranking = rank_features(tiny_dataset, feature_names("static-all"),
+                                repeats=2)
+        scores = [score for _, score in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_prune_by_importance_coverage(self):
+        ranking = [("a", 0.6), ("b", 0.25), ("c", 0.1), ("d", 0.05)]
+        kept = prune_by_importance(ranking, coverage=0.8, min_features=1)
+        assert kept == ["a", "b"]
+
+    def test_prune_respects_min_features(self):
+        ranking = [("a", 1.0), ("b", 0.0), ("c", 0.0)]
+        kept = prune_by_importance(ranking, coverage=0.5, min_features=3)
+        assert kept == ["a", "b", "c"]
+
+    def test_optimised_set_is_subset(self, tiny_dataset):
+        base = feature_names("static-all")
+        kept = optimised_set(tiny_dataset, base, repeats=2)
+        assert set(kept) <= set(base)
+        assert len(kept) >= 3
+
+
+class TestFigure2:
+    def test_left_panel_series(self, tiny_dataset):
+        result = run_figure2(tiny_dataset, "left", repeats=2)
+        assert set(result.series) == set(PANELS["left"])
+        for curve in result.series.values():
+            assert len(curve) == 9
+            assert all(0.0 <= v <= 1.0 for v in curve)
+            # tolerance accuracy is monotone in the threshold
+            assert curve == sorted(curve)
+
+    def test_right_panel_series(self, tiny_dataset):
+        result = run_figure2(tiny_dataset, "right", repeats=2)
+        assert set(result.series) == set(PANELS["right"])
+        assert "static-opt" in result.opt_features
+
+    def test_unknown_panel_rejected(self, tiny_dataset):
+        with pytest.raises(ExperimentError):
+            run_figure2(tiny_dataset, "middle")
+
+    def test_render(self, tiny_dataset):
+        result = run_figure2(tiny_dataset, "left", repeats=2)
+        text = result.render()
+        assert "Figure 2" in text and "always-8" in text
+
+    def test_accuracy_at(self, tiny_dataset):
+        result = run_figure2(tiny_dataset, "left", repeats=2)
+        assert result.accuracy_at("dynamic", 0) \
+            == result.series["dynamic"][0]
+
+
+class TestTable4:
+    def test_rows_and_percentages(self, tiny_dataset):
+        result = run_table4(tiny_dataset, repeats=2)
+        assert 0 < len(result.dynamic_rows) <= 12
+        assert 0 < len(result.static_rows) <= 6
+        for label, pes, pct in result.dynamic_rows:
+            assert 1 <= pes <= 8
+            assert 0.0 <= pct <= 100.0
+        text = result.render()
+        assert "Dynamic Features" in text and "Static Features" in text
+
+    def test_dynamic_rows_sorted(self, tiny_dataset):
+        result = run_table4(tiny_dataset, repeats=2)
+        pcts = [row[2] for row in result.dynamic_rows]
+        assert pcts == sorted(pcts, reverse=True)
+
+
+class TestDatasetStats:
+    def test_counts_add_up(self, tiny_dataset):
+        stats = run_dataset_stats(tiny_dataset)
+        assert stats.n_samples == len(tiny_dataset)
+        assert sum(stats.class_counts.values()) == stats.n_samples
+        assert sum(stats.suite_counts.values()) == stats.n_samples
+        assert stats.render()
+
+    def test_majority_and_share(self, tiny_dataset):
+        stats = run_dataset_stats(tiny_dataset)
+        label = stats.majority_label
+        assert stats.class_share(label) == max(
+            stats.class_share(k) for k in stats.class_counts)
+
+
+class TestHeadline:
+    def test_headline_fields(self, tiny_dataset):
+        result = run_headline(tiny_dataset, repeats=2)
+        assert 0.0 <= result.static_opt_at_0 <= 1.0
+        assert result.static_opt_at_8 >= result.static_opt_at_0
+        assert isinstance(result.learned_beats_always8, bool)
+        assert "static-opt" in result.render()
+
+
+class TestPruningSweep:
+    def test_sweep_points(self, tiny_dataset):
+        sweep = run_pruning_sweep(tiny_dataset, repeats=2, ks=(1, 3, 6))
+        assert [k for k, _ in sweep.points] == [1, 3, 6]
+        assert all(0.0 <= acc <= 1.0 for _, acc in sweep.points)
+        assert sweep.render()

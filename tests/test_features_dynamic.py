@@ -1,0 +1,91 @@
+"""Dynamic feature tests (paper Table III)."""
+
+import pytest
+
+from repro.features.dynamic import (
+    DYNAMIC_METRICS,
+    dynamic_feature_names,
+    extract_dynamic,
+    flatten_dynamic,
+)
+from repro.features.sets import FEATURE_SETS, feature_names, sample_vector
+from repro.errors import FeatureError
+from repro.ir.types import DType
+from repro.sim.engine import simulate
+from tests.conftest import make_axpy
+
+
+class TestExtractDynamic:
+    def test_metric_names(self):
+        counters = simulate(make_axpy(DType.INT32, 512), 2)
+        metrics = extract_dynamic(counters)
+        assert set(metrics) == set(DYNAMIC_METRICS)
+        assert len(DYNAMIC_METRICS) == 10
+
+    def test_fractions_bounded(self):
+        for team in (1, 4, 8):
+            counters = simulate(make_axpy(DType.FP32, 512), team)
+            metrics = extract_dynamic(counters)
+            assert 0.0 <= metrics["PE_idle"] <= 1.0
+            assert 0.0 <= metrics["PE_sleep"] <= 1.0
+
+    def test_sleep_decreases_with_team_size(self):
+        # more active cores -> smaller mean clock-gated fraction
+        sleeps = []
+        for team in (1, 4, 8):
+            counters = simulate(make_axpy(DType.INT32, 2048), team)
+            sleeps.append(extract_dynamic(counters)["PE_sleep"])
+        assert sleeps[0] > sleeps[1] > sleeps[2]
+
+    def test_counts_match_counters(self):
+        counters = simulate(make_axpy(DType.FP32, 512), 4)
+        metrics = extract_dynamic(counters)
+        assert metrics["PE_l1"] == sum(c.l1_ops for c in counters.cores)
+        assert metrics["L1_read"] == counters.total_l1_reads
+        assert metrics["L1_write"] == counters.total_l1_writes
+        assert metrics["PE_fp"] == sum(c.fp_ops + c.fpdiv_ops
+                                       for c in counters.cores)
+
+    def test_l1_idle_complements_accesses(self):
+        counters = simulate(make_axpy(DType.INT32, 512), 1)
+        metrics = extract_dynamic(counters)
+        accesses = counters.total_l1_reads + counters.total_l1_writes
+        assert metrics["L1_idle"] == 16 * counters.cycles - accesses
+
+
+class TestFlattening:
+    def test_names_cover_all_teams(self):
+        names = dynamic_feature_names()
+        assert len(names) == 80
+        assert "PE_sleep@8" in names and "L1_conflicts@1" in names
+
+    def test_flatten(self):
+        per_team = {1: {"PE_idle": 0.5}, 2: {"PE_idle": 0.25}}
+        flat = flatten_dynamic(per_team)
+        assert flat == {"PE_idle@1": 0.5, "PE_idle@2": 0.25}
+
+
+class TestFeatureSets:
+    def test_registry_contents(self):
+        assert set(FEATURE_SETS) == {
+            "static-raw", "static-agg", "static-mca", "static-raw+mca",
+            "static-agg+mca", "static-all", "dynamic",
+        }
+        assert len(feature_names("static-agg")) == 3
+        assert len(feature_names("static-raw+mca")) == 17
+        assert len(feature_names("static-agg+mca")) == 16
+        assert len(feature_names("dynamic")) == 80
+
+    def test_unknown_set_rejected(self):
+        with pytest.raises(FeatureError):
+            feature_names("static-bogus")
+
+    def test_sample_vector_lookup(self):
+        static = {"F1": 1.0, "F3": 2.0}
+        dynamic = {"PE_idle@1": 0.5}
+        vec = sample_vector(static, dynamic, ["F3", "PE_idle@1", "F1"])
+        assert vec == [2.0, 0.5, 1.0]
+
+    def test_sample_vector_missing_feature(self):
+        with pytest.raises(FeatureError):
+            sample_vector({}, {}, ["nope"])

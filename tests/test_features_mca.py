@@ -1,0 +1,119 @@
+"""MCA feature tests: water-filling, port model, kernel-level features."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import FeatureError
+from repro.features.mca import (
+    DISPATCH_WIDTH,
+    MCA_FEATURES,
+    N_PORTS,
+    _waterfill,
+    analyse_mix,
+    extract_mca,
+    mca_report,
+)
+from repro.features.static_counts import StaticCounts
+from repro.ir.types import DType
+from tests.conftest import make_axpy, make_matmul
+
+
+class TestWaterfill:
+    def test_fills_least_loaded_first(self):
+        loads = [0.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        _waterfill(loads, (0, 1), 4.0)
+        assert loads[0] == pytest.approx(4.0)
+        assert loads[1] == pytest.approx(5.0)
+
+    def test_equalises_when_large(self):
+        loads = [0.0, 5.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]
+        _waterfill(loads, (0, 1), 9.0)
+        assert loads[0] == pytest.approx(loads[1]) == pytest.approx(7.0)
+
+    @given(st.lists(st.floats(min_value=0, max_value=50), min_size=8,
+                    max_size=8),
+           st.floats(min_value=0, max_value=100),
+           st.sets(st.integers(min_value=0, max_value=7), min_size=1))
+    def test_conserves_mass_and_minimises_max(self, loads, amount, ports):
+        ports = tuple(sorted(ports))
+        before = list(loads)
+        _waterfill(loads, ports, amount)
+        # mass conservation
+        assert sum(loads) == pytest.approx(sum(before) + amount)
+        # untouched ports unchanged
+        for port in range(8):
+            if port not in ports:
+                assert loads[port] == before[port]
+        # min-max optimality: every raised port ends at the common level
+        # or was already above it
+        raised = [p for p in ports if loads[p] > before[p]]
+        if raised:
+            level = max(loads[p] for p in raised)
+            for p in raised:
+                assert loads[p] == pytest.approx(level, rel=1e-6)
+
+
+class TestAnalyseMix:
+    def test_pure_alu_mix(self):
+        counts = StaticCounts(alu=8.0)
+        result = analyse_mix(counts, iterations=1.0)
+        # 8 uops over 4 eligible ports -> pressure 2 each; dispatch bound 2
+        assert result.rblock_throughput == pytest.approx(2.0)
+        assert result.ipc == pytest.approx(4.0)
+
+    def test_branch_bound_mix(self):
+        counts = StaticCounts(alu=2.0, jump=3.0)
+        result = analyse_mix(counts, iterations=1.0)
+        # branches are port-6 only -> RBP >= 3
+        assert result.rblock_throughput >= 3.0
+        assert result.port_pressure[6] >= 3.0
+
+    def test_store_uses_data_and_agu_ports(self):
+        counts = StaticCounts(l1_stores=4.0)
+        result = analyse_mix(counts, iterations=1.0)
+        assert result.port_pressure[4] == pytest.approx(4.0)
+        agu = (result.port_pressure[2] + result.port_pressure[3]
+               + result.port_pressure[7])
+        assert agu == pytest.approx(4.0)
+
+    def test_divider_pressure(self):
+        counts = StaticCounts(div=2.0, fpdiv=1.0)
+        result = analyse_mix(counts, iterations=1.0)
+        assert result.div_pressure == pytest.approx(2 * 8.0 + 1 * 12.0)
+        assert result.fpdiv_pressure == pytest.approx(12.0)
+        assert result.rblock_throughput >= result.div_pressure
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(FeatureError):
+            analyse_mix(StaticCounts(alu=1.0), iterations=0)
+
+    def test_uopspc_bounded_by_width(self):
+        counts = StaticCounts(alu=100.0, l1_loads=30.0, l1_stores=10.0,
+                              jump=5.0)
+        result = analyse_mix(counts, iterations=1.0)
+        assert result.uops_per_cycle <= DISPATCH_WIDTH + 1e-9
+
+
+class TestKernelFeatures:
+    def test_feature_names_match_table2b(self):
+        feats = extract_mca(make_axpy(DType.INT32, 512))
+        assert set(feats) == set(MCA_FEATURES)
+        assert len(MCA_FEATURES) == 13
+
+    def test_all_pressures_nonnegative(self):
+        feats = extract_mca(make_matmul(DType.FP32, 768))
+        for name, value in feats.items():
+            assert value >= 0.0, name
+
+    def test_fp_kernel_loads_fp_ports(self):
+        feats_int = extract_mca(make_axpy(DType.INT32, 512))
+        feats_fp = extract_mca(make_axpy(DType.FP32, 512))
+        # fp variant concentrates arithmetic on ports 0/1
+        assert (feats_fp["RP0"] + feats_fp["RP1"]
+                >= feats_int["RP0"] + feats_int["RP1"] - 1e-9)
+
+    def test_report_renders(self):
+        text = mca_report(make_axpy(DType.FP32, 512))
+        assert "Reverse block throughput" in text
+        assert "Port 7" in text

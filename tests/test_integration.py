@@ -1,0 +1,114 @@
+"""Integration tests: the full paper pipeline on real (small) inputs."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.registry import get_kernel_spec
+from repro.energy.accounting import compute_energy
+from repro.energy.model import EnergyModel
+from repro.features.sets import feature_names
+from repro.ir.types import DType
+from repro.ml import DecisionTreeClassifier, repeated_cv_predict
+from repro.ml.metrics import mean_tolerance_curve
+from repro.sim.engine import simulate
+from repro.sim.results import minimum_energy_label, sweep_cores
+from repro.trace import TraceWriter
+from repro.trace.analyser import analyse_trace
+
+
+class TestLabelSanity:
+    """Engineered kernels must land in the classes they were built for."""
+
+    def test_serialised_kernels_prefer_few_cores(self):
+        for name in ("critical_update", "histogram"):
+            spec = get_kernel_spec(name)
+            kernel = spec.build(spec.dtypes[0], 2048)
+            label = minimum_energy_label(sweep_cores(kernel))
+            assert label <= 3, f"{name} labelled {label}"
+
+    def test_l2_serialisation_caps_scaling(self):
+        pingpong = get_kernel_spec("l2_pingpong").build(DType.INT32, 2048)
+        stream = get_kernel_spec("l2_stream").build(DType.INT32, 2048)
+        label_pingpong = minimum_energy_label(sweep_cores(pingpong))
+        label_stream = minimum_energy_label(sweep_cores(stream))
+        assert label_pingpong <= 5 < label_stream
+
+    def test_scalable_kernels_prefer_many_cores(self):
+        for name in ("compute_dense", "stream_triad"):
+            kernel = get_kernel_spec(name).build(DType.INT32, 8192)
+            label = minimum_energy_label(sweep_cores(kernel))
+            assert label >= 6, f"{name} labelled {label}"
+
+    def test_fpu_saturation_caps_fp_variant(self):
+        spec = get_kernel_spec("fpu_saturate")
+        label_int = minimum_energy_label(
+            sweep_cores(spec.build(DType.INT32, 2048)))
+        label_fp = minimum_energy_label(
+            sweep_cores(spec.build(DType.FP32, 2048)))
+        assert label_fp <= 6 < label_int
+
+    def test_bank_pair_ordering(self):
+        hammer = get_kernel_spec("bank_hammer").build(DType.INT32, 2048)
+        friendly = get_kernel_spec("bank_friendly").build(DType.INT32,
+                                                          2048)
+        assert (minimum_energy_label(sweep_cores(hammer))
+                < minimum_energy_label(sweep_cores(friendly)))
+
+
+class TestEnergyCurveShape:
+    def test_energy_decreases_then_flattens_for_scalable(self):
+        kernel = get_kernel_spec("gemm").build(DType.INT32, 8192)
+        energies = [r.total_energy_fj for r in sweep_cores(kernel)]
+        assert energies[0] > energies[3] > min(energies)
+
+    def test_interp_and_codegen_agree_on_energy(self):
+        kernel = get_kernel_spec("trisolv").build(DType.FP32, 512)
+        model = EnergyModel.paper_table1()
+        for team in (1, 5):
+            fast = compute_energy(simulate(kernel, team), model).total
+            slow = compute_energy(
+                simulate(kernel, team, backend="interp"), model).total
+            assert fast == pytest.approx(slow)
+
+
+class TestTraceAcrossRegistry:
+    @pytest.mark.parametrize("name", [
+        "gemm", "fft", "trisolv", "histogram", "l2_stream", "lmsfir",
+    ])
+    def test_trace_equivalence(self, name):
+        spec = get_kernel_spec(name)
+        kernel = spec.build(spec.dtypes[0], 512)
+        writer = TraceWriter()
+        engine = simulate(kernel, 6, trace=writer)
+        rebuilt = analyse_trace(writer.lines).to_counters()
+        assert rebuilt.as_dict() == engine.as_dict()
+
+
+class TestEndToEndClassification:
+    def test_static_model_beats_chance_on_tiny_dataset(self, tiny_dataset):
+        names = feature_names("static-all")
+        X = tiny_dataset.matrix(names)
+        y = tiny_dataset.labels
+        preds, importances = repeated_cv_predict(
+            lambda: DecisionTreeClassifier(random_state=0), X, y,
+            n_splits=4, repeats=3, seed=0)
+        curve = mean_tolerance_curve(preds, tiny_dataset.energy_matrix,
+                                     [0, 5, 8], tiny_dataset.team_sizes)
+        chance = 1.0 / len(np.unique(y))
+        assert curve[0] > chance
+        assert curve[2] >= curve[0]
+        assert importances.sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_dynamic_features_at_least_as_good(self, tiny_dataset):
+        results = {}
+        for set_name in ("static-agg", "dynamic"):
+            X = tiny_dataset.matrix(feature_names(set_name))
+            preds, _ = repeated_cv_predict(
+                lambda: DecisionTreeClassifier(random_state=0), X,
+                tiny_dataset.labels, n_splits=4, repeats=3, seed=1)
+            curve = mean_tolerance_curve(
+                preds, tiny_dataset.energy_matrix, [5],
+                tiny_dataset.team_sizes)
+            results[set_name] = curve[0]
+        # dynamic features contain the ground truth signal; allow noise
+        assert results["dynamic"] >= results["static-agg"] - 0.15

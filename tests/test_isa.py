@@ -1,0 +1,86 @@
+"""Unit tests for the abstract ISA (opcodes + textual encoding)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TraceError
+from repro.isa import (
+    OP_ALU,
+    OP_DIV,
+    OP_FDIV,
+    OP_FP,
+    OP_JMP,
+    OP_LD,
+    OP_LD2,
+    OP_LOCK,
+    OP_NOP,
+    OP_ST,
+    OP_ST2,
+    OP_UNLOCK,
+    OPCODE_NAMES,
+)
+from repro.isa import (
+    format_instr,
+    is_l1_access,
+    is_l2_access,
+    pack_lock,
+    parse_instr,
+    unpack_lock,
+)
+from repro.isa.opcodes import OP_DMA, validate_opcode
+
+
+class TestOpcodeTables:
+    def test_opcodes_are_dense_and_distinct(self):
+        ops = [OP_ALU, OP_FP, OP_LD, OP_ST, OP_LD2, OP_ST2, OP_JMP,
+               OP_NOP, OP_DIV, OP_FDIV, OP_LOCK, OP_UNLOCK, OP_DMA]
+        assert sorted(ops) == list(range(len(ops)))
+        assert len(OPCODE_NAMES) == len(ops)
+
+    def test_access_classification(self):
+        assert is_l1_access(OP_LD) and is_l1_access(OP_ST)
+        assert is_l1_access(OP_LOCK) and is_l1_access(OP_UNLOCK)
+        assert not is_l1_access(OP_LD2) and not is_l1_access(OP_ALU)
+        assert is_l2_access(OP_LD2) and is_l2_access(OP_ST2)
+        assert not is_l2_access(OP_LD)
+
+    def test_validate_opcode_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            validate_opcode(99)
+        validate_opcode(OP_ALU)  # no raise
+
+
+class TestLockPacking:
+    @given(st.integers(min_value=0, max_value=1000),
+           st.integers(min_value=0, max_value=255))
+    def test_roundtrip(self, lock_id, bank):
+        assert unpack_lock(pack_lock(lock_id, bank)) == (lock_id, bank)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            pack_lock(-1, 0)
+        with pytest.raises(ValueError):
+            pack_lock(0, 256)
+
+
+class TestEncoding:
+    @pytest.mark.parametrize("op,arg", [
+        (OP_ALU, 5), (OP_FP, 1), (OP_LD, 13), (OP_ST, 0), (OP_LD2, 31),
+        (OP_ST2, 7), (OP_JMP, 1), (OP_NOP, 3), (OP_DIV, 2), (OP_FDIV, 1),
+        (OP_LOCK, pack_lock(2, 9)), (OP_UNLOCK, pack_lock(0, 15)),
+    ])
+    def test_roundtrip_every_opcode(self, op, arg):
+        assert parse_instr(format_instr(op, arg)) == (op, arg)
+
+    def test_format_uses_mnemonics(self):
+        assert format_instr(OP_LD, 3) == "lw bank=3"
+        assert format_instr(OP_ALU, 4) == "alu n=4"
+        assert format_instr(OP_LOCK, pack_lock(1, 2)) == "lock id=1 bank=2"
+
+    @pytest.mark.parametrize("text", [
+        "", "bogus n=1", "lw", "lw bank=", "lw bank=x", "lock id=1",
+    ])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(TraceError):
+            parse_instr(text)

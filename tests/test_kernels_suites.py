@@ -1,0 +1,147 @@
+"""Structural tests for the dataset suites.
+
+Beyond "it builds", these check that each transcription carries the
+structure the original kernel is known for: operation mix, access
+patterns, region counts, triangularity, parametricity in dtype/size.
+"""
+
+import pytest
+
+from repro.dataset.polybench import POLYBENCH_KERNELS
+from repro.dataset.utdsp import UTDSP_KERNELS
+from repro.dataset.custom import CUSTOM_KERNELS
+from repro.dataset.registry import all_kernel_specs, get_kernel_spec
+from repro.features.static_counts import summarize_kernel
+from repro.features.static_raw import extract_raw
+from repro.ir.nodes import Critical, Loop, ParallelFor, SequentialFor, walk_body
+from repro.ir.types import DType
+from repro.ir.validate import validate_kernel
+
+
+class TestSuiteInventories:
+    def test_suite_sizes(self):
+        assert len(POLYBENCH_KERNELS) == 26
+        assert len(UTDSP_KERNELS) == 16
+        assert len(CUSTOM_KERNELS) == 17
+
+    @pytest.mark.parametrize("spec", all_kernel_specs(),
+                             ids=lambda s: s.name)
+    def test_every_kernel_builds_and_validates(self, spec):
+        for dtype in spec.dtypes:
+            for size in (512, 32768):
+                kernel = spec.build(dtype, size)
+                validate_kernel(kernel)
+                # payload must fit the TCDM+L2 budget the paper assumes
+                l1_bytes = sum(a.size_bytes for a in kernel.arrays
+                               if a.space == "l1")
+                assert l1_bytes <= 64 * 1024
+
+    @pytest.mark.parametrize("spec", all_kernel_specs(),
+                             ids=lambda s: s.name)
+    def test_size_parametricity(self, spec):
+        """Bigger payloads must mean more static work."""
+        dtype = spec.dtypes[0]
+        small = extract_raw(spec.build(dtype, 512))
+        large = extract_raw(spec.build(dtype, 8192))
+        assert large["transfer"] > small["transfer"]
+        assert large["op"] + large["tcdm"] > small["op"] + small["tcdm"]
+
+
+class TestPolybenchStructure:
+    def test_gemm_is_cubic(self):
+        kernel = get_kernel_spec("gemm").build(DType.INT32, 2048)
+        n = round(kernel.array("A").length ** 0.5)
+        counts = summarize_kernel(kernel).total
+        # 2 loads per innermost iteration + the C[i][j] load per (i, j)
+        assert counts.l1_loads == 2 * n ** 3 + n ** 2
+
+    def test_syrk_is_triangular(self):
+        kernel = get_kernel_spec("syrk").build(DType.INT32, 2048)
+        n = int(kernel.array("A").length ** 0.5)
+        counts = summarize_kernel(kernel).total
+        # triangular: roughly half the rectangular inner-loop work
+        rect = 2 * n ** 3
+        assert counts.l1_loads < 0.75 * rect
+
+    def test_atax_has_two_regions(self):
+        kernel = get_kernel_spec("atax").build(DType.FP32, 2048)
+        regions = list(kernel.parallel_regions())
+        assert len(regions) == 2
+
+    def test_lu_uses_sequential_for(self):
+        kernel = get_kernel_spec("lu").build(DType.FP32, 2048)
+        assert any(isinstance(r, SequentialFor) for r in kernel.body)
+
+    def test_stencils_have_time_loop(self):
+        for name in ("jacobi-1d", "jacobi-2d", "fdtd-2d", "heat-3d"):
+            kernel = get_kernel_spec(name).build(DType.FP32, 2048)
+            assert any(isinstance(r, SequentialFor) for r in kernel.body), \
+                name
+
+    def test_fp_kernels_use_fp_ops(self):
+        kernel = get_kernel_spec("gemm").build(DType.FP32, 2048)
+        counts = summarize_kernel(kernel).total
+        assert counts.fp > 0 and counts.alu > 0
+
+    def test_int_variant_uses_no_fp(self):
+        kernel = get_kernel_spec("gemm").build(DType.INT32, 2048)
+        counts = summarize_kernel(kernel).total
+        assert counts.fp == 0 and counts.fpdiv == 0
+
+
+class TestUtdspStructure:
+    def test_fft_has_log2_stages(self):
+        kernel = get_kernel_spec("fft").build(DType.FP32, 2048)
+        regions = list(kernel.parallel_regions())
+        n = kernel.array("re").length
+        assert len(regions) == n.bit_length() - 1
+
+    def test_adpcm_has_divides_and_branches(self):
+        kernel = get_kernel_spec("adpcm").build(DType.INT32, 2048)
+        counts = summarize_kernel(kernel).total
+        assert counts.div > 0
+        # branches beyond loop back-edges (data-dependent paths)
+        assert counts.jump > counts.iterations
+
+    def test_histogram_uses_a_critical_section(self):
+        kernel = get_kernel_spec("histogram").build(DType.INT32, 512)
+        region = next(iter(kernel.parallel_regions()))
+        assert any(isinstance(s, Critical) for s in walk_body(region.body))
+
+    def test_decimate_is_strided(self):
+        kernel = get_kernel_spec("decimate").build(DType.INT32, 2048)
+        region = next(iter(kernel.parallel_regions()))
+        loads = [s for s in walk_body(region.body)
+                 if type(s).__name__ == "Load" and s.array == "x"]
+        assert any(coef == 4 for load in loads
+                   for coef in load.index.terms.values())
+
+
+class TestCustomStructure:
+    def test_bank_pair_differs_only_in_stride(self):
+        hammer = get_kernel_spec("bank_hammer").build(DType.INT32, 2048)
+        friendly = get_kernel_spec("bank_friendly").build(DType.INT32,
+                                                          2048)
+        ch = summarize_kernel(hammer).total
+        cf = summarize_kernel(friendly).total
+        assert ch.instructions == cf.instructions
+        assert ch.tcdm == cf.tcdm
+
+    def test_l2_kernels_allocate_in_l2(self):
+        for name in ("l2_stream", "l2_pingpong"):
+            kernel = get_kernel_spec(name).build(DType.INT32, 2048)
+            assert all(a.space == "l2" for a in kernel.arrays)
+
+    def test_barrier_storm_opens_many_regions(self):
+        kernel = get_kernel_spec("barrier_storm").build(DType.INT32, 2048)
+        seq_for = next(r for r in kernel.body
+                       if isinstance(r, SequentialFor))
+        assert seq_for.upper.const - seq_for.lower.const >= 8
+
+    def test_seq_then_par_has_serial_prefix(self):
+        kernel = get_kernel_spec("seq_then_par").build(DType.INT32, 2048)
+        summary = summarize_kernel(kernel)
+        assert summary.sequential.instructions > 0
+        region_instrs = sum(c.instructions
+                            for c in summary.region_counts)
+        assert summary.sequential.instructions > region_instrs

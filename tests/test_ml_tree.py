@@ -1,0 +1,148 @@
+"""Decision tree tests: correctness, invariants, importances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MLError
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+from repro.ml.metrics import accuracy
+
+
+def _blobs(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = np.where(X[:, 0] + 0.5 * X[:, 1] > 0, 1, 2)
+    return X, y
+
+
+class TestFitPredict:
+    def test_memorises_training_data(self):
+        X, y = _blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert accuracy(y, tree.predict(X)) == 1.0
+
+    def test_single_class_is_single_leaf(self):
+        X = np.zeros((10, 3))
+        y = np.full(10, 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.n_leaves() == 1
+        assert (tree.predict(X) == 5).all()
+
+    def test_constant_features_yield_majority_leaf(self):
+        X = np.ones((12, 2))
+        y = np.array([1] * 8 + [2] * 4)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert (tree.predict(X) == 1).all()
+
+    def test_max_depth_limits_depth(self):
+        X, y = _blobs(400)
+        tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_min_samples_leaf_respected(self):
+        X, y = _blobs(100)
+        tree = DecisionTreeClassifier(min_samples_leaf=10).fit(X, y)
+
+        def leaf_sizes(node):
+            if node.is_leaf:
+                return [int(node.value.sum())]
+            return leaf_sizes(node.left) + leaf_sizes(node.right)
+
+        assert min(leaf_sizes(tree._root)) >= 10
+
+    def test_labels_preserved_non_contiguous(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 5)
+        y = np.array([3, 5, 8, 8] * 5)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) <= {3, 5, 8}
+        assert accuracy(y, tree.predict(X)) == 1.0
+
+    def test_shapes_validated(self):
+        with pytest.raises(MLError):
+            DecisionTreeClassifier().fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(MLError):
+            DecisionTreeClassifier().fit(np.zeros((5, 2)), np.zeros(4))
+        tree = DecisionTreeClassifier().fit(np.zeros((4, 2)),
+                                            np.array([1, 1, 2, 2]))
+        with pytest.raises(MLError):
+            tree.predict(np.zeros((3, 5)))
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(MLError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_bad_hyperparams_rejected(self):
+        with pytest.raises(MLError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(MLError):
+            DecisionTreeClassifier(min_samples_leaf=0)
+
+
+class TestImportances:
+    def test_normalised(self):
+        X, y = _blobs()
+        tree = DecisionTreeClassifier().fit(X, y)
+        imp = tree.feature_importances_
+        assert imp.shape == (4,)
+        assert imp.sum() == pytest.approx(1.0)
+        assert (imp >= 0).all()
+
+    def test_informative_feature_dominates(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(300, 5))
+        y = (X[:, 2] > 0).astype(int)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.feature_importances_.argmax() == 2
+
+    def test_pure_fit_has_zero_importance_mass(self):
+        X = np.zeros((10, 3))
+        tree = DecisionTreeClassifier().fit(X, np.ones(10, dtype=int))
+        assert tree.feature_importances_.sum() == 0.0
+
+
+class TestTreeProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000),
+           n=st.integers(min_value=5, max_value=60))
+    def test_predictions_are_training_labels(self, seed, n):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 3))
+        y = rng.integers(1, 5, size=n)
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert set(tree.predict(X)) <= set(y)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_proba_rows_sum_to_one(self, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(30, 3))
+        y = rng.integers(0, 3, size=30)
+        tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+        probs = tree.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_deterministic_given_seed(self):
+        X, y = _blobs(150, seed=7)
+        a = DecisionTreeClassifier(max_features=2, random_state=11).fit(X, y)
+        b = DecisionTreeClassifier(max_features=2, random_state=11).fit(X, y)
+        assert (a.predict(X) == b.predict(X)).all()
+
+
+class TestForest:
+    def test_fits_and_beats_chance(self):
+        X, y = _blobs(300)
+        forest = RandomForestClassifier(n_estimators=15,
+                                        random_state=0).fit(X, y)
+        assert accuracy(y, forest.predict(X)) > 0.9
+
+    def test_importances_normalised(self):
+        X, y = _blobs(200)
+        forest = RandomForestClassifier(n_estimators=10,
+                                        random_state=1).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_unfitted_rejected(self):
+        with pytest.raises(MLError):
+            RandomForestClassifier().predict(np.zeros((2, 2)))

@@ -1,0 +1,31 @@
+"""Tests for the experiment runner's environment handling."""
+
+from repro.experiments.runner import active_profile, cv_repeats
+
+
+class TestEnv:
+    def test_default_profile(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert active_profile() == "paper"
+        assert active_profile("quick") == "quick"
+
+    def test_profile_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "unit")
+        assert active_profile() == "unit"
+
+    def test_repeats_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CV_REPEATS", raising=False)
+        assert cv_repeats() == 10
+        assert cv_repeats(3) == 3
+
+    def test_repeats_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CV_REPEATS", "100")
+        assert cv_repeats() == 100
+
+    def test_repeats_bad_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CV_REPEATS", "lots")
+        assert cv_repeats(7) == 7
+
+    def test_repeats_clamped_to_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CV_REPEATS", "0")
+        assert cv_repeats() == 1

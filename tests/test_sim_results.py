@@ -1,0 +1,53 @@
+"""Tests for the sweep/result layer."""
+
+import pytest
+
+from repro.energy.model import EnergyModel
+from repro.ir.types import DType
+from repro.platform.config import ClusterConfig
+from repro.sim.results import (
+    SimulationResult,
+    minimum_energy_label,
+    run_one,
+    sweep_cores,
+)
+from tests.conftest import make_axpy
+
+
+class TestRunOne:
+    def test_result_fields(self):
+        result = run_one(make_axpy(DType.INT32, 512), 3)
+        assert isinstance(result, SimulationResult)
+        assert result.kernel_name == "axpy"
+        assert result.team_size == 3
+        assert result.cycles == result.counters.cycles
+        assert result.total_energy_fj == result.energy.total > 0
+
+    def test_custom_model_changes_energy(self):
+        kernel = make_axpy(DType.INT32, 512)
+        base = run_one(kernel, 2)
+        no_leak = run_one(kernel, 2, model=EnergyModel().zero_leakage())
+        assert no_leak.total_energy_fj < base.total_energy_fj
+        assert no_leak.cycles == base.cycles  # timing unaffected
+
+
+class TestSweep:
+    def test_sweeps_all_teams_by_default(self):
+        results = sweep_cores(make_axpy(DType.FP32, 512))
+        assert [r.team_size for r in results] == list(range(1, 9))
+
+    def test_subset_of_teams(self):
+        results = sweep_cores(make_axpy(DType.INT32, 512),
+                              team_sizes=(1, 8))
+        assert [r.team_size for r in results] == [1, 8]
+
+    def test_minimum_energy_label(self):
+        results = sweep_cores(make_axpy(DType.INT32, 2048))
+        label = minimum_energy_label(results)
+        energies = {r.team_size: r.total_energy_fj for r in results}
+        assert energies[label] == min(energies.values())
+
+    def test_custom_config_team_count(self):
+        config = ClusterConfig(n_cores=4, n_fpus=2)
+        results = sweep_cores(make_axpy(DType.INT32, 512), config=config)
+        assert [r.team_size for r in results] == [1, 2, 3, 4]
