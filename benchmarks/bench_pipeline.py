@@ -1,0 +1,143 @@
+"""End-to-end pipeline benchmark: campaign scaling + batched inference.
+
+Times (a) a cold labelling-campaign build at ``--jobs 1`` vs
+``--jobs N`` (fresh cache directories, so both runs simulate
+everything) and (b) 10k-row forest/tree inference with the seed
+per-row loops vs the vectorized implementations, then writes the
+numbers to ``BENCH_pipeline.json`` so later PRs can track the
+trajectory.
+
+Run from the repo root as a single command::
+
+    python benchmarks/bench_pipeline.py [--profile quick] [--jobs 4]
+        [--rows 10000] [--output BENCH_pipeline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.dataset.build import build_dataset  # noqa: E402
+from repro.ml.forest import RandomForestClassifier  # noqa: E402
+from repro.ml.tree import DecisionTreeClassifier  # noqa: E402
+
+
+def bench_cold_build(profile: str, jobs: int) -> dict:
+    """Wall-clock of one cold campaign (fresh cache dir) at *jobs*."""
+    cache_dir = tempfile.mkdtemp(prefix=f"bench_cache_j{jobs}_")
+    try:
+        start = time.perf_counter()
+        dataset = build_dataset(profile, cache_dir=cache_dir, jobs=jobs)
+        elapsed = time.perf_counter() - start
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {"jobs": jobs, "seconds": round(elapsed, 3),
+            "n_samples": len(dataset)}
+
+
+def bench_inference(rows: int, seed: int = 0) -> dict:
+    """Seed per-row loops vs vectorized predict on *rows* random rows."""
+    rng = np.random.default_rng(seed)
+    X_train = rng.standard_normal((600, 24))
+    y_train = rng.integers(1, 9, size=600)
+    X = rng.standard_normal((rows, 24))
+
+    tree = DecisionTreeClassifier(max_depth=12, random_state=0)
+    tree.fit(X_train, y_train)
+    start = time.perf_counter()
+    tree_rowwise = tree._predict_rowwise(X)
+    tree_rowwise_s = time.perf_counter() - start
+    start = time.perf_counter()
+    tree_batched = tree.predict(X)
+    tree_batched_s = time.perf_counter() - start
+    if not np.array_equal(tree_rowwise, tree_batched):
+        raise AssertionError("batched tree predictions diverge from the "
+                             "row-wise reference")
+
+    forest = RandomForestClassifier(n_estimators=30, max_depth=12,
+                                    random_state=0)
+    forest.fit(X_train, y_train)
+    start = time.perf_counter()
+    forest_loop = forest._predict_loop(X)
+    forest_loop_s = time.perf_counter() - start
+    start = time.perf_counter()
+    forest_vec = forest.predict(X)
+    forest_vec_s = time.perf_counter() - start
+    if not np.array_equal(forest_loop, forest_vec):
+        raise AssertionError("vectorized forest predictions diverge from "
+                             "the per-row voting reference")
+
+    return {
+        "rows": rows,
+        "tree": {"rowwise_seconds": round(tree_rowwise_s, 4),
+                 "batched_seconds": round(tree_batched_s, 4),
+                 "speedup": round(tree_rowwise_s / tree_batched_s, 2)},
+        "forest": {"rowwise_seconds": round(forest_loop_s, 4),
+                   "vectorized_seconds": round(forest_vec_s, 4),
+                   "speedup": round(forest_loop_s / forest_vec_s, 2)},
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="quick",
+                        help="campaign profile to cold-build "
+                             "(default quick)")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="parallel worker count to compare against "
+                             "--jobs 1 (default 4)")
+    parser.add_argument("--rows", type=int, default=10_000,
+                        help="inference batch size (default 10000)")
+    parser.add_argument("--output", default="BENCH_pipeline.json")
+    parser.add_argument("--skip-build", action="store_true",
+                        help="only run the inference benchmark")
+    args = parser.parse_args(argv)
+
+    results: dict = {
+        "bench": "pipeline",
+        "profile": args.profile,
+        "cpu_count": os.cpu_count(),
+        "python": sys.version.split()[0],
+    }
+
+    if not args.skip_build:
+        print(f"cold build, profile={args.profile!r}, jobs=1 ...",
+              flush=True)
+        serial = bench_cold_build(args.profile, jobs=1)
+        print(f"  {serial['seconds']:.2f} s "
+              f"({serial['n_samples']} samples)")
+        print(f"cold build, profile={args.profile!r}, "
+              f"jobs={args.jobs} ...", flush=True)
+        parallel = bench_cold_build(args.profile, jobs=args.jobs)
+        print(f"  {parallel['seconds']:.2f} s")
+        results["cold_build"] = {
+            "serial": serial,
+            "parallel": parallel,
+            "speedup": round(serial["seconds"] / parallel["seconds"], 2),
+        }
+
+    print(f"inference, {args.rows} rows ...", flush=True)
+    results["inference"] = bench_inference(args.rows)
+    print(f"  tree    x{results['inference']['tree']['speedup']}")
+    print(f"  forest  x{results['inference']['forest']['speedup']}")
+
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,12 +3,18 @@
 Examples::
 
     repro build-dataset --profile paper
+    repro build-dataset --profile quick --jobs 4
     repro dataset-stats
     repro figure2 --panel left
     repro table4
     repro headline
     repro simulate gemm --dtype fp32 --size 2048
     repro mca gemm --dtype fp32 --size 2048
+
+``--jobs N`` (or ``REPRO_JOBS=N``) runs the labelling campaign on N
+worker processes; ``--jobs 0`` uses every CPU.  The on-disk simulation
+cache is shared safely between workers (atomic, collision-free writes)
+and the assembled dataset is identical for any worker count.
 """
 
 from __future__ import annotations
@@ -28,6 +34,18 @@ from repro.experiments.table4 import run_table4
 from repro.features.mca import mca_report
 from repro.ir.types import parse_dtype
 from repro.sim.results import minimum_energy_label, sweep_cores
+
+
+def _add_dataset_opts(parser: argparse.ArgumentParser) -> None:
+    """Accept --profile/--jobs after the subcommand as well as before.
+
+    SUPPRESS keeps an omitted subcommand-position option from
+    clobbering a value parsed from the main-parser position.
+    """
+    parser.add_argument("--profile", default=argparse.SUPPRESS,
+                        help="dataset profile: paper, quick or unit")
+    parser.add_argument("--jobs", type=int, default=argparse.SUPPRESS,
+                        help="worker processes; 0 means one per CPU")
 
 
 def _add_kernel_args(parser: argparse.ArgumentParser) -> None:
@@ -52,17 +70,23 @@ def main(argv=None) -> int:
     parser.add_argument("--profile", default=None,
                         help="dataset profile: paper, quick or unit "
                              "(default: $REPRO_PROFILE or 'paper')")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the labelling "
+                             "campaign; 0 means one per CPU "
+                             "(default: $REPRO_JOBS or 1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list-kernels", help="list the 59 dataset kernels")
     sub.add_parser("energy-model", help="print the Table-I energy model")
-    sub.add_parser("build-dataset", help="run the labelling campaign")
-    sub.add_parser("dataset-stats", help="class balance (paper §IV.B)")
-    sub.add_parser("table4", help="most relevant features (Table IV)")
-    sub.add_parser("headline", help="headline accuracy numbers")
+    for name, text in (("build-dataset", "run the labelling campaign"),
+                       ("dataset-stats", "class balance (paper §IV.B)"),
+                       ("table4", "most relevant features (Table IV)"),
+                       ("headline", "headline accuracy numbers")):
+        _add_dataset_opts(sub.add_parser(name, help=text))
 
     fig = sub.add_parser("figure2", help="accuracy vs tolerance curves")
     fig.add_argument("--panel", choices=("left", "right"), default="left")
+    _add_dataset_opts(fig)
 
     simp = sub.add_parser("simulate",
                           help="sweep team sizes for one kernel")
@@ -106,7 +130,7 @@ def main(argv=None) -> int:
     def progress(msg: str) -> None:
         print(msg, file=sys.stderr)
 
-    dataset = build_dataset(profile, progress=progress)
+    dataset = build_dataset(profile, progress=progress, jobs=args.jobs)
     if args.command == "build-dataset":
         print(f"built {len(dataset)} samples (profile {profile!r})")
         print(run_dataset_stats(dataset).render())

@@ -10,17 +10,27 @@ For every sample (kernel x dtype x size):
 
 The assembled :class:`Dataset` also caches itself as one JSON file, so
 experiments re-open in milliseconds.
+
+The campaign is embarrassingly parallel (one task per sample), so
+:func:`build_dataset` fans it out over a process pool when ``jobs > 1``.
+Workers share the on-disk :class:`SimCache` (whose writes are atomic and
+collision-free) and results are merged back in spec order, so a parallel
+build produces a dataset byte-identical to a serial one.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import pickle
+import tempfile
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dataset.cache import SimCache, kernel_fingerprint
+from repro.dataset.cache import CODE_VERSION, SimCache, kernel_fingerprint
 from repro.dataset.registry import all_kernel_specs
 from repro.dataset.spec import SampleSpec, enumerate_samples, profile_sizes
 from repro.energy.accounting import compute_energy
@@ -31,6 +41,7 @@ from repro.features.mca import extract_mca
 from repro.features.sets import sample_vector
 from repro.features.static_agg import agg_from_raw
 from repro.features.static_raw import extract_raw
+from repro.parallel import resolve_jobs
 from repro.platform.config import ClusterConfig
 from repro.sim.counters import ClusterCounters
 from repro.sim.engine import simulate
@@ -102,15 +113,26 @@ class Dataset:
     # -- persistence -----------------------------------------------------------
 
     def save(self, path: str) -> None:
+        """Atomically publish the dataset JSON (mkstemp staging, so two
+        concurrent cold builds of the same profile race benignly)."""
         payload = {
             "profile": self.profile,
             "team_sizes": list(self.team_sizes),
             "samples": [s.as_dict() for s in self.samples],
         }
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(os.path.abspath(path)),
+            prefix=os.path.basename(path) + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     @staticmethod
     def load(path: str) -> "Dataset":
@@ -171,16 +193,52 @@ def build_sample(spec: SampleSpec, config: ClusterConfig,
     )
 
 
+def _build_sample_task(task) -> Sample:
+    """Process-pool entry point: label one sample.
+
+    Each worker opens its own :class:`SimCache` handle on the shared
+    directory; the cache's atomic, collision-free writes make that safe.
+    """
+    spec, config, model, cache_dir = task
+    cache = SimCache(cache_dir) if cache_dir is not None else None
+    return build_sample(spec, config, model, cache)
+
+
+def _build_samples_parallel(sample_specs, config, model, cache_dir,
+                            jobs: int, progress) -> list:
+    """Fan the campaign out over *jobs* worker processes.
+
+    ``Executor.map`` yields results in submission order, so the merged
+    sample list — and therefore the saved dataset JSON — is identical
+    to a serial build's.
+    """
+    tasks = [(spec, config, model, cache_dir) for spec in sample_specs]
+    chunksize = max(1, len(tasks) // (jobs * 4))
+    samples = []
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        for idx, sample in enumerate(
+                pool.map(_build_sample_task, tasks, chunksize=chunksize)):
+            if progress is not None:
+                progress(f"[{idx + 1}/{len(tasks)}] {sample.sample_id}")
+            samples.append(sample)
+    return samples
+
+
 def build_dataset(profile: str = "paper",
                   config: ClusterConfig | None = None,
                   model: EnergyModel | None = None,
                   cache_dir: str | None = DEFAULT_CACHE_DIR,
-                  specs=None, progress=None) -> Dataset:
+                  specs=None, progress=None,
+                  jobs: int | None = None) -> Dataset:
     """Build (or reload) the labelled dataset for *profile*.
 
     With the default cache directory, a fully-cached rebuild takes
     seconds; cold builds simulate everything and may take minutes for
     the ``paper`` profile.
+
+    *jobs* (default ``$REPRO_JOBS`` or 1) selects how many worker
+    processes run the campaign; 0 or a negative value means one per
+    CPU.  Any value produces the same dataset.
     """
     config = config or ClusterConfig()
     model = model or EnergyModel.paper_table1()
@@ -193,7 +251,8 @@ def build_dataset(profile: str = "paper",
         os.makedirs(cache_dir, exist_ok=True)
         import hashlib
         digest = hashlib.sha1(
-            (config.cache_key() + "|" + model.cache_key()).encode()
+            (f"v{CODE_VERSION}|" + config.cache_key() + "|"
+             + model.cache_key()).encode()
         ).hexdigest()[:10]
         tag = f"{profile}-{len(sample_specs)}-{digest}"
         dataset_path = os.path.join(cache_dir, f"dataset_{tag}.json")
@@ -203,12 +262,27 @@ def build_dataset(profile: str = "paper",
             except (OSError, json.JSONDecodeError, KeyError, TypeError):
                 pass  # stale/corrupt dataset cache: rebuild below
 
-    cache = SimCache(cache_dir) if cache_dir is not None else None
-    samples = []
-    for idx, spec in enumerate(sample_specs):
-        if progress is not None:
-            progress(f"[{idx + 1}/{len(sample_specs)}] {spec.sample_id}")
-        samples.append(build_sample(spec, config, model, cache))
+    jobs = resolve_jobs(jobs)
+    samples = None
+    if jobs > 1 and len(sample_specs) > 1:
+        try:
+            samples = _build_samples_parallel(
+                sample_specs, config, model, cache_dir, jobs, progress)
+        except (pickle.PicklingError, AttributeError) as exc:
+            # e.g. kernel builders defined in a non-importable scope;
+            # correctness beats speed, so fall back to the serial path.
+            warnings.warn(f"parallel build unavailable ({exc}); "
+                          f"falling back to a serial campaign",
+                          RuntimeWarning)
+            samples = None
+    if samples is None:
+        cache = SimCache(cache_dir) if cache_dir is not None else None
+        samples = []
+        for idx, spec in enumerate(sample_specs):
+            if progress is not None:
+                progress(
+                    f"[{idx + 1}/{len(sample_specs)}] {spec.sample_id}")
+            samples.append(build_sample(spec, config, model, cache))
 
     if not samples:
         raise DatasetError("no samples were built")

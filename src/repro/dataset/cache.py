@@ -8,6 +8,25 @@ reuse the same simulations.
 Cache entries are invalidated by a fingerprint covering the kernel IR
 (structure, placements, sizes), the cluster configuration and a manual
 ``CODE_VERSION`` bumped whenever simulator semantics change.
+
+Concurrency and safety guarantees
+---------------------------------
+
+The cache is safe to share between processes (the parallel labelling
+campaign points every worker at the same directory):
+
+* **Atomic publication** — :meth:`SimCache.store` writes to a unique
+  temporary file (``tempfile.mkstemp`` in the cache directory, so the
+  rename never crosses a filesystem boundary) and publishes it with
+  ``os.replace``.  Readers only ever see a missing file or a complete
+  one, never a half-written entry.  Two concurrent writers of the same
+  sample race benignly: each publishes a complete file and the last
+  rename wins.
+* **Collision-free filenames** — cache paths append a short hash of the
+  *original* sample id to the sanitised name, so distinct ids that
+  sanitise identically (``a/b`` vs ``a_b``) cannot cross-contaminate.
+* **Corruption tolerance** — :meth:`SimCache.load` treats unreadable or
+  fingerprint-mismatched entries as cache misses.
 """
 
 from __future__ import annotations
@@ -16,6 +35,7 @@ import hashlib
 import json
 import os
 import re
+import tempfile
 
 from repro.ir.nodes import (
     Barrier,
@@ -32,7 +52,7 @@ from repro.ir.nodes import (
 from repro.platform.config import ClusterConfig
 
 #: bump when engine/compiler semantics change in a way that affects counts.
-CODE_VERSION = 4
+CODE_VERSION = 5
 
 
 def _node_repr(stmt) -> str:
@@ -79,7 +99,13 @@ def kernel_fingerprint(kernel: Kernel, config: ClusterConfig) -> str:
 
 
 def _safe_name(sample_id: str) -> str:
-    return re.sub(r"[^A-Za-z0-9._-]", "_", sample_id)
+    """Filesystem-safe, collision-free filename stem for *sample_id*.
+
+    Sanitising alone is lossy (``a/b`` and ``a_b`` both become ``a_b``),
+    so a short hash of the original id disambiguates.
+    """
+    digest = hashlib.sha1(sample_id.encode()).hexdigest()[:8]
+    return re.sub(r"[^A-Za-z0-9._-]", "_", sample_id) + "-" + digest
 
 
 class SimCache:
@@ -108,8 +134,25 @@ class SimCache:
 
     def store(self, sample_id: str, fingerprint: str,
               teams: dict) -> None:
+        """Atomically publish the entry (safe under concurrent writers).
+
+        A fixed ``path + ".tmp"`` staging name would let two concurrent
+        writers truncate each other mid-dump and ``os.replace`` publish
+        a half-written file; ``mkstemp`` gives each writer a private
+        staging file in the same directory instead.
+        """
         path = self._path(sample_id)
-        tmp = path + ".tmp"
-        with open(tmp, "w") as handle:
-            json.dump({"fingerprint": fingerprint, "teams": teams}, handle)
-        os.replace(tmp, path)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.cache_dir,
+            prefix=os.path.basename(path) + ".", suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump({"fingerprint": fingerprint, "teams": teams},
+                          handle)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -58,12 +58,35 @@ class RandomForestClassifier:
         return self
 
     def predict(self, X) -> np.ndarray:
+        """Majority vote over the trees, fully vectorized.
+
+        Each (batched) tree prediction is mapped to a forest-class
+        index, and all votes are tallied in a single ``bincount`` over
+        flattened (row, class) keys — no per-row Python loop.  Ties
+        break toward the lowest class, matching the row-wise reference.
+        """
+        if not self.trees_:
+            raise MLError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        n, k = len(X), len(self.classes_)
+        # tree.classes_ is a subset of self.classes_ (both come from the
+        # same y), so searchsorted is an exact class -> index map.
+        tree_votes = np.empty((len(self.trees_), n), dtype=np.intp)
+        for t, tree in enumerate(self.trees_):
+            tree_votes[t] = np.searchsorted(self.classes_, tree.predict(X))
+        flat = tree_votes + np.arange(n, dtype=np.intp) * k
+        votes = np.bincount(flat.ravel(), minlength=n * k).reshape(n, k)
+        return self.classes_[votes.argmax(axis=1)]
+
+    def _predict_loop(self, X) -> np.ndarray:
+        """Seed per-tree/per-row dict voting; kept as the equivalence
+        and benchmark baseline for the vectorized ``predict``."""
         if not self.trees_:
             raise MLError("forest is not fitted")
         X = np.asarray(X, dtype=np.float64)
         votes = np.zeros((len(X), len(self.classes_)), dtype=int)
         class_index = {c: i for i, c in enumerate(self.classes_)}
         for tree in self.trees_:
-            for i, pred in enumerate(tree.predict(X)):
+            for i, pred in enumerate(tree._predict_rowwise(X)):
                 votes[i, class_index[pred]] += 1
         return self.classes_[votes.argmax(axis=1)]

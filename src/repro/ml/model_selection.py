@@ -10,11 +10,14 @@ feature importances used to build the ``*-opt`` pruned sets.
 
 from __future__ import annotations
 
+import warnings
+from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterator
 
 import numpy as np
 
 from repro.errors import MLError
+from repro.parallel import resolve_jobs
 
 
 def stratified_kfold(y, n_splits: int, seed: int | None = None,
@@ -41,9 +44,13 @@ def stratified_kfold(y, n_splits: int, seed: int | None = None,
             folds[(offset + i) % n_splits].append(int(idx))
         offset += len(members)  # stagger classes across folds
     all_idx = np.arange(len(y))
-    for fold in folds:
+    for i, fold in enumerate(folds):
         test = np.asarray(sorted(fold), dtype=int)
         if len(test) == 0:
+            warnings.warn(
+                f"stratified_kfold: fold {i} is empty "
+                f"(n_splits={n_splits} too large for the class sizes); "
+                f"skipping it", RuntimeWarning, stacklevel=2)
             continue
         train = np.setdiff1d(all_idx, test, assume_unique=True)
         yield train, test
@@ -72,23 +79,39 @@ def cross_val_predict(model_factory: Callable, X, y, n_splits: int = 10,
 
 def repeated_cv_predict(model_factory: Callable, X, y,
                         n_splits: int = 10, repeats: int = 10,
-                        seed: int = 0,
+                        seed: int = 0, jobs: int | None = None,
                         ) -> tuple[np.ndarray, np.ndarray]:
     """Repeat stratified CV with varying seeds.
 
     Returns ``(predictions, importances)`` where predictions has shape
     ``(repeats, n_samples)`` (one out-of-fold prediction per repeat) and
     importances is the grand average over folds and repeats.
+
+    *jobs* (default ``$REPRO_JOBS`` or 1) distributes repeats over a
+    thread pool.  Threads rather than processes: *model_factory* is
+    usually a closure (unpicklable), each repeat is seeded
+    independently, and the fit/predict hot paths live in numpy which
+    releases the GIL.  Results are merged by repeat index, so they are
+    identical for any *jobs*.
     """
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y)
     if repeats < 1:
         raise MLError(f"repeats must be >= 1, got {repeats}")
+    jobs = resolve_jobs(jobs)
     all_preds = np.empty((repeats, len(y)), dtype=y.dtype)
     importances = np.zeros(X.shape[1])
-    for rep in range(repeats):
-        preds, imp = cross_val_predict(model_factory, X, y, n_splits,
-                                       seed=seed + rep)
+
+    def one_repeat(rep: int) -> tuple[np.ndarray, np.ndarray]:
+        return cross_val_predict(model_factory, X, y, n_splits,
+                                 seed=seed + rep)
+
+    if jobs > 1 and repeats > 1:
+        with ThreadPoolExecutor(max_workers=min(jobs, repeats)) as pool:
+            results = list(pool.map(one_repeat, range(repeats)))
+    else:
+        results = [one_repeat(rep) for rep in range(repeats)]
+    for rep, (preds, imp) in enumerate(results):
         all_preds[rep] = preds
         importances += imp
     return all_preds, importances / repeats

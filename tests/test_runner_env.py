@@ -1,6 +1,12 @@
 """Tests for the experiment runner's environment handling."""
 
-from repro.experiments.runner import active_profile, cv_repeats
+import pytest
+
+from repro.experiments.runner import (
+    active_profile,
+    cv_repeats,
+    default_jobs,
+)
 
 
 class TestEnv:
@@ -24,7 +30,19 @@ class TestEnv:
 
     def test_repeats_bad_value_falls_back(self, monkeypatch):
         monkeypatch.setenv("REPRO_CV_REPEATS", "lots")
-        assert cv_repeats(7) == 7
+        with pytest.warns(RuntimeWarning, match="REPRO_CV_REPEATS"):
+            assert cv_repeats(7) == 7
+
+    def test_unknown_profile_warns(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "bogus")
+        with pytest.warns(RuntimeWarning, match="REPRO_PROFILE"):
+            assert active_profile() == "bogus"
+
+    def test_jobs_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.delenv("REPRO_JOBS")
+        assert default_jobs() == 1
 
     def test_repeats_clamped_to_one(self, monkeypatch):
         monkeypatch.setenv("REPRO_CV_REPEATS", "0")
