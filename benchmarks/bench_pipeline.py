@@ -2,10 +2,13 @@
 
 Times (a) a cold labelling-campaign build at ``--jobs 1`` vs
 ``--jobs N`` (fresh cache directories, so both runs simulate
-everything) and (b) 10k-row forest/tree inference with the seed
-per-row loops vs the vectorized implementations, then writes the
-numbers to ``BENCH_pipeline.json`` so later PRs can track the
-trajectory.
+everything), (b) 10k-row forest/tree inference with the seed
+per-row loops vs the vectorized implementations, and (c) the
+:mod:`repro.api` serving path — model-artifact load latency and
+single-prediction latency for the tree and forest families — then
+writes the numbers to ``BENCH_pipeline.json`` so later PRs can track
+the trajectory.  With ``--skip-build`` the previous file's
+``cold_build`` section is carried over instead of dropped.
 
 Run from the repo root as a single command::
 
@@ -89,6 +92,55 @@ def bench_inference(rows: int, seed: int = 0) -> dict:
     }
 
 
+def bench_model_io(loads: int = 20, predictions: int = 500) -> dict:
+    """Serving-path latency: artifact load and one-row predict.
+
+    Trains each model family once on a small real campaign (four
+    kernels, temp cache), saves the JSON artifact, then times
+    ``Classifier.load`` and single-row ``predict`` — the two numbers a
+    deployment actually waits on.
+    """
+    from repro.api import Classifier, ReproConfig
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    cache_dir = tempfile.mkdtemp(prefix="bench_model_io_")
+    results: dict = {"loads": loads, "predictions": predictions}
+    try:
+        dataset = build_dataset("unit", specs=specs, cache_dir=cache_dir)
+        for family, params in (("tree", {}),
+                               ("forest", {"n_estimators": 30})):
+            clf = Classifier(ReproConfig(profile="unit", model=family,
+                                         model_params=params))
+            clf.train(dataset)
+            path = os.path.join(cache_dir, f"{family}.json")
+            clf.save(path)
+
+            start = time.perf_counter()
+            for _ in range(loads):
+                Classifier.load(path)
+            load_ms = (time.perf_counter() - start) / loads * 1e3
+
+            loaded = Classifier.load(path)
+            row = dataset.matrix(loaded.feature_names_)[0]
+            loaded.predict(row)  # warm-up
+            start = time.perf_counter()
+            for _ in range(predictions):
+                loaded.predict(row)
+            predict_us = ((time.perf_counter() - start)
+                          / predictions * 1e6)
+
+            results[family] = {
+                "artifact_kb": round(os.path.getsize(path) / 1024, 1),
+                "load_ms": round(load_ms, 3),
+                "predict_us": round(predict_us, 1),
+            }
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="quick",
@@ -111,6 +163,16 @@ def main(argv=None) -> int:
         "python": sys.version.split()[0],
     }
 
+    if args.skip_build and os.path.exists(args.output):
+        # keep the previous campaign numbers instead of dropping them
+        try:
+            with open(args.output) as handle:
+                previous = json.load(handle)
+            if "cold_build" in previous:
+                results["cold_build"] = previous["cold_build"]
+        except (OSError, json.JSONDecodeError):
+            pass
+
     if not args.skip_build:
         print(f"cold build, profile={args.profile!r}, jobs=1 ...",
               flush=True)
@@ -131,6 +193,15 @@ def main(argv=None) -> int:
     results["inference"] = bench_inference(args.rows)
     print(f"  tree    x{results['inference']['tree']['speedup']}")
     print(f"  forest  x{results['inference']['forest']['speedup']}")
+
+    print("model artifact load / single-prediction latency ...",
+          flush=True)
+    results["model_io"] = bench_model_io()
+    for family in ("tree", "forest"):
+        io_stats = results["model_io"][family]
+        print(f"  {family:6s} load {io_stats['load_ms']} ms, "
+              f"predict {io_stats['predict_us']} us "
+              f"({io_stats['artifact_kb']} KiB)")
 
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)

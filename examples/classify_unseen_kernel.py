@@ -4,22 +4,20 @@ Run with::
 
     python examples/classify_unseen_kernel.py [--profile quick]
 
-Trains the decision tree on the full labelled dataset using only static
-(compile-time) features, then predicts the minimum-energy core count of
-a kernel that is NOT part of the dataset (the ``stencil_sync`` demo
-kernel), and verifies the prediction against the simulated ground truth
-— including how much energy the prediction would waste if wrong.
+A thin client of :mod:`repro.api`: configure a classifier on the pruned
+``static-opt`` (compile-time) feature set, train it on the labelled
+dataset, and predict the minimum-energy core count of a kernel that is
+NOT part of the dataset (the ``stencil_sync`` demo kernel) straight
+from its IR.  The prediction is verified against the simulated ground
+truth — including how much energy it would waste if wrong.
 """
 
 import argparse
 
+from repro.api import Classifier, ReproConfig
 from repro.dataset.custom import stencil_sync
-from repro.experiments.optsets import optimised_set
 from repro.experiments.runner import load_dataset
-from repro.features import extract_agg, extract_mca, extract_raw
-from repro.features.sets import feature_names, sample_vector
 from repro.ir.types import DType
-from repro.ml import DecisionTreeClassifier
 from repro.sim.results import minimum_energy_label, sweep_cores
 
 
@@ -36,18 +34,15 @@ def main() -> None:
           f"{dataset.class_distribution()}")
 
     # --- train on importance-pruned static features -----------------------
-    base = feature_names("static-all")
-    kept = optimised_set(dataset, base, repeats=3)
+    config = ReproConfig(profile=dataset.profile,
+                         feature_set="static-opt")
+    clf = Classifier(config).train(dataset)
+    kept = clf.feature_names_
     print(f"\nstatic-opt features ({len(kept)}): {', '.join(kept)}")
-    X = dataset.matrix(kept)
-    model = DecisionTreeClassifier(random_state=0).fit(X, dataset.labels)
 
-    # --- an unseen kernel ---------------------------------------------------
+    # --- an unseen kernel -------------------------------------------------
     kernel = stencil_sync(DType.FP32, 4096)
-    static = {**extract_raw(kernel), **extract_agg(kernel),
-              **extract_mca(kernel)}
-    vector = [sample_vector(static, {}, kept)]
-    predicted = int(model.predict(vector)[0])
+    predicted = clf.predict(kernel)
 
     results = sweep_cores(kernel)
     true_label = minimum_energy_label(results)

@@ -13,7 +13,7 @@ Public API tour:
 * regenerate the paper's tables and figures with :mod:`repro.experiments`.
 """
 
-__version__ = "1.0.0"
+from repro.version import CODE_VERSION, __version__
 
 from repro.energy import EnergyModel, compute_energy
 from repro.platform import ClusterConfig
@@ -21,6 +21,7 @@ from repro.sim import simulate, sweep_cores
 
 __all__ = [
     "__version__",
+    "CODE_VERSION",
     "EnergyModel",
     "compute_energy",
     "ClusterConfig",

@@ -1,0 +1,77 @@
+"""The :mod:`repro` service layer — the classifier as a product.
+
+The paper's deliverable is a classifier that maps source-code features
+to the most energy-efficient PULP core configuration.  This package is
+its canonical entry point:
+
+>>> from repro.api import Classifier, ReproConfig
+>>> clf = Classifier(ReproConfig(profile="unit")).train()
+>>> clf.save("model.json")
+>>> Classifier.load("model.json").predict_batch(rows)
+
+Everything else layers on top: the :mod:`repro.experiments` drivers are
+thin clients of :func:`evaluate_features` / :class:`Classifier`, and
+the ``repro train`` / ``repro predict`` / ``repro serve`` CLI commands
+are thin clients of this package.
+
+Extension points: :func:`register_model_family` (e.g. a new ensemble)
+and :func:`register_feature_set` (e.g. a new static feature family)
+plug new behaviour in without touching any caller.
+"""
+
+from repro.api.classifier import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    Classifier,
+    EvaluationReport,
+    evaluate_features,
+    kernel_features,
+)
+from repro.api.config import (
+    DEFAULT_TOLERANCES,
+    ReproConfig,
+    active_profile,
+    cv_repeats,
+    default_jobs,
+)
+from repro.api.registry import (
+    ModelFamily,
+    available_feature_sets,
+    available_model_families,
+    model_family,
+    register_feature_set,
+    register_model_family,
+    resolve_feature_set,
+)
+from repro.api.selection import (
+    optimised_set,
+    prune_by_importance,
+    rank_features,
+)
+from repro.api.service import handle_request, serve
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "Classifier",
+    "EvaluationReport",
+    "evaluate_features",
+    "kernel_features",
+    "DEFAULT_TOLERANCES",
+    "ReproConfig",
+    "active_profile",
+    "cv_repeats",
+    "default_jobs",
+    "ModelFamily",
+    "available_feature_sets",
+    "available_model_families",
+    "model_family",
+    "register_feature_set",
+    "register_model_family",
+    "resolve_feature_set",
+    "optimised_set",
+    "prune_by_importance",
+    "rank_features",
+    "handle_request",
+    "serve",
+]

@@ -1,0 +1,86 @@
+"""JSON-lines batch-scoring service (the ``repro serve`` backend).
+
+One JSON object per input line, one JSON object per output line — the
+simplest protocol that composes with shell pipes, socket wrappers and
+container health checks alike.  Requests:
+
+``{"kernel": "gemm", "dtype": "fp32", "size": 2048}``
+    build the named dataset kernel and score it (``dtype`` defaults to
+    ``int32``, ``size`` to 2048 bytes);
+``{"features": {"name": value, ...}}``
+    score an explicit feature mapping;
+``{"rows": [[...], ...]}``
+    score a batch of pre-assembled feature vectors;
+``{"cmd": "info"}``
+    describe the loaded model (family, feature set, versions).
+
+Every request may carry an ``"id"`` which is echoed in the response.
+Responses are ``{"ok": true, "prediction": k}`` (or ``"predictions"``
+for batches, ``"info"`` for info) or ``{"ok": false, "error": "..."}``;
+a malformed line never kills the service.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.api.classifier import Classifier
+from repro.dataset.registry import get_kernel_spec
+from repro.errors import ReproError
+from repro.ir.types import parse_dtype
+
+
+def handle_request(classifier: Classifier, request) -> dict:
+    """Score one decoded request; errors become error responses."""
+    response: dict = {"ok": True}
+    if isinstance(request, dict) and "id" in request:
+        response["id"] = request["id"]
+    try:
+        if not isinstance(request, dict):
+            raise ReproError("request must be a JSON object")
+        if request.get("cmd") == "info":
+            response["info"] = classifier.info()
+        elif "rows" in request:
+            preds = classifier.predict_batch(request["rows"])
+            response["predictions"] = [int(p) for p in preds]
+        elif "features" in request:
+            response["prediction"] = classifier.predict(
+                request["features"])
+        elif "kernel" in request:
+            spec = get_kernel_spec(str(request["kernel"]))
+            dtype = parse_dtype(str(request.get("dtype", "int32")))
+            size = int(request.get("size", 2048))
+            kernel = spec.build(dtype, size)
+            response["prediction"] = classifier.predict(kernel)
+        else:
+            raise ReproError(
+                "unsupported request; expected one of the keys "
+                "'kernel', 'features', 'rows' or cmd='info'")
+    except (ReproError, TypeError, ValueError) as exc:
+        return {"ok": False, "error": str(exc),
+                **({"id": request["id"]}
+                   if isinstance(request, dict) and "id" in request
+                   else {})}
+    return response
+
+
+def serve(classifier: Classifier, stdin=None, stdout=None) -> int:
+    """Serve JSON-lines requests until EOF; returns requests handled."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    handled = 0
+    for line in stdin:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            response = {"ok": False, "error": f"invalid JSON: {exc}"}
+        else:
+            response = handle_request(classifier, request)
+        stdout.write(json.dumps(response) + "\n")
+        stdout.flush()
+        handled += 1
+    return handled

@@ -11,10 +11,20 @@ Examples::
     repro simulate gemm --dtype fp32 --size 2048
     repro mca gemm --dtype fp32 --size 2048
 
+    repro train --features static-all --model tree -o model.json
+    repro predict gemm --model model.json --dtype fp32 --size 2048
+    repro serve --model model.json < requests.jsonl
+
 ``--jobs N`` (or ``REPRO_JOBS=N``) runs the labelling campaign on N
 worker processes; ``--jobs 0`` uses every CPU.  The on-disk simulation
 cache is shared safely between workers (atomic, collision-free writes)
 and the assembled dataset is identical for any worker count.
+
+``train`` / ``predict`` / ``serve`` are thin clients of
+:mod:`repro.api`: ``train`` fits the configured model family once and
+writes a JSON artifact, ``predict`` scores a kernel against it, and
+``serve`` answers JSON-lines scoring requests on stdin/stdout (see
+:mod:`repro.api.service` for the protocol).
 """
 
 from __future__ import annotations
@@ -22,6 +32,11 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import Classifier, ReproConfig, active_profile, serve
+from repro.api.registry import (
+    available_feature_sets,
+    available_model_families,
+)
 from repro.dataset.build import build_dataset
 from repro.dataset.registry import all_kernel_specs, get_kernel_spec
 from repro.energy.model import EnergyModel
@@ -29,11 +44,11 @@ from repro.energy.report import format_breakdown, format_model_table
 from repro.experiments.dataset_stats import run_dataset_stats
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.headline import run_headline
-from repro.experiments.runner import active_profile
 from repro.experiments.table4 import run_table4
 from repro.features.mca import mca_report
 from repro.ir.types import parse_dtype
 from repro.sim.results import minimum_energy_label, sweep_cores
+from repro.version import CODE_VERSION, __version__
 
 
 def _add_dataset_opts(parser: argparse.ArgumentParser) -> None:
@@ -61,12 +76,26 @@ def _build_kernel(args):
     return spec.build(parse_dtype(args.dtype), args.size)
 
 
+def _load_or_train(args, profile: str, progress) -> Classifier:
+    """The classifier behind ``predict`` / ``serve``: a saved artifact
+    when ``--model`` is given, otherwise a freshly trained default."""
+    if args.model:
+        return Classifier.load(args.model)
+    print(f"no --model artifact given; training a fresh classifier "
+          f"(profile {profile!r})...", file=sys.stderr)
+    config = ReproConfig(profile=profile, jobs=args.jobs)
+    return Classifier(config).train(progress=progress)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Source Code Classification for "
                     "Energy Efficiency in Parallel Ultra Low-Power "
                     "Microcontrollers' (DATE 2021)")
+    parser.add_argument(
+        "--version", action="version",
+        version=f"repro {__version__} (code version {CODE_VERSION})")
     parser.add_argument("--profile", default=None,
                         help="dataset profile: paper, quick or unit "
                              "(default: $REPRO_PROFILE or 'paper')")
@@ -76,7 +105,9 @@ def main(argv=None) -> int:
                              "(default: $REPRO_JOBS or 1)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list-kernels", help="list the 59 dataset kernels")
+    n_kernels = len(all_kernel_specs())
+    sub.add_parser("list-kernels",
+                   help=f"list the {n_kernels} dataset kernels")
     sub.add_parser("energy-model", help="print the Table-I energy model")
     for name, text in (("build-dataset", "run the labelling campaign"),
                        ("dataset-stats", "class balance (paper §IV.B)"),
@@ -94,6 +125,36 @@ def main(argv=None) -> int:
 
     mca = sub.add_parser("mca", help="LLVM-MCA-style report for a kernel")
     _add_kernel_args(mca)
+
+    train = sub.add_parser(
+        "train", help="train a classifier and save a model artifact")
+    train.add_argument("--features", default="static-all",
+                       help="feature set: "
+                            + ", ".join(available_feature_sets()))
+    train.add_argument("--model", default="tree",
+                       help="model family: "
+                            + ", ".join(available_model_families()))
+    train.add_argument("--seed", type=int, default=0,
+                       help="training seed (default 0)")
+    train.add_argument("--output", "-o", default="model.json",
+                       help="artifact path (default model.json)")
+    _add_dataset_opts(train)
+
+    pred = sub.add_parser(
+        "predict", help="predict the minimum-energy team size for a "
+                        "kernel")
+    _add_kernel_args(pred)
+    pred.add_argument("--model", default=None,
+                      help="model artifact from 'repro train' (a fresh "
+                           "default model is trained when omitted)")
+    _add_dataset_opts(pred)
+
+    srv = sub.add_parser(
+        "serve", help="JSON-lines scoring service on stdin/stdout")
+    srv.add_argument("--model", default=None,
+                     help="model artifact from 'repro train' (a fresh "
+                          "default model is trained when omitted)")
+    _add_dataset_opts(srv)
 
     args = parser.parse_args(argv)
     profile = args.profile or active_profile()
@@ -126,10 +187,39 @@ def main(argv=None) -> int:
         print(mca_report(_build_kernel(args)))
         return 0
 
-    # dataset-backed commands
     def progress(msg: str) -> None:
         print(msg, file=sys.stderr)
 
+    if args.command == "train":
+        config = ReproConfig(profile=profile, jobs=args.jobs,
+                             feature_set=args.features, model=args.model,
+                             seed=args.seed)
+        clf = Classifier(config).train(progress=progress)
+        clf.save(args.output)
+        info = clf.info()
+        print(f"trained {info['model_family']!r} on "
+              f"{info['n_training_samples']} samples "
+              f"(profile {profile!r}, feature set "
+              f"{info['feature_set']!r}, {info['n_features']} features)")
+        print(f"model artifact written to {args.output} "
+              f"(code version {info['code_version']})")
+        return 0
+
+    if args.command == "predict":
+        clf = _load_or_train(args, profile, progress)
+        kernel = _build_kernel(args)
+        prediction = clf.predict(kernel)
+        print(f"{kernel.name} ({args.dtype}, {args.size} B): "
+              f"predicted minimum-energy team size = {prediction}")
+        return 0
+
+    if args.command == "serve":
+        clf = _load_or_train(args, profile, progress)
+        handled = serve(clf)
+        print(f"served {handled} request(s)", file=sys.stderr)
+        return 0
+
+    # dataset-backed experiment commands
     dataset = build_dataset(profile, progress=progress, jobs=args.jobs)
     if args.command == "build-dataset":
         print(f"built {len(dataset)} samples (profile {profile!r})")

@@ -50,9 +50,7 @@ from repro.ir.nodes import (
     Store,
 )
 from repro.platform.config import ClusterConfig
-
-#: bump when engine/compiler semantics change in a way that affects counts.
-CODE_VERSION = 5
+from repro.version import CODE_VERSION  # noqa: F401  (canonical home moved)
 
 
 def _node_repr(stmt) -> str:

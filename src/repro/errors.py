@@ -48,5 +48,9 @@ class MLError(ReproError):
     """Raised by the machine-learning stack (bad shapes, empty folds, ...)."""
 
 
+class ConfigError(ReproError):
+    """Raised when a :class:`repro.api.ReproConfig` is inconsistent."""
+
+
 class ExperimentError(ReproError):
     """Raised when an experiment cannot be assembled or reproduced."""

@@ -8,20 +8,21 @@ only the energy integration reruns.
 A2 — pruning sweep: accuracy at a fixed tolerance as a function of how
 many top-importance features the tree keeps, quantifying the plateau the
 paper's ``static-opt`` sits on.
+
+Both ablations are thin clients: A1 re-labels through
+:func:`repro.dataset.build.build_dataset`, A2 ranks and scores through
+:func:`repro.api.rank_features` / :func:`repro.api.evaluate_features`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import evaluate_features, rank_features
 from repro.dataset.build import Dataset, build_dataset
 from repro.dataset.table import ColumnTable
 from repro.energy.model import EnergyModel
-from repro.experiments.optsets import rank_features
 from repro.features.sets import feature_names
-from repro.ml.metrics import mean_tolerance_curve
-from repro.ml.model_selection import repeated_cv_predict
-from repro.ml.tree import DecisionTreeClassifier
 
 
 @dataclass
@@ -87,11 +88,8 @@ def run_pruning_sweep(dataset: Dataset, tolerance: float = 5.0,
         if k > len(ranking):
             break
         kept = [name for name, _ in ranking[:k]]
-        X = dataset.matrix(kept)
-        preds, _ = repeated_cv_predict(
-            lambda: DecisionTreeClassifier(random_state=seed), X,
-            dataset.labels, n_splits=n_splits, repeats=repeats, seed=seed)
-        curve = mean_tolerance_curve(preds, dataset.energy_matrix,
-                                     [tolerance], dataset.team_sizes)
-        sweep.points.append((k, curve[0]))
+        report = evaluate_features(dataset, kept, tolerances=[tolerance],
+                                   n_splits=n_splits, repeats=repeats,
+                                   seed=seed)
+        sweep.points.append((k, report.curve[0]))
     return sweep

@@ -4,23 +4,28 @@ Left panel: ``static-agg``, ``static-opt``, ``dynamic``, ``dynamic-opt``
 against the naive ``always-8`` policy.  Right panel: the static
 feature-set exploration (``static-raw+mca``, ``static-agg``,
 ``static-agg+mca``, ``static-opt``).
+
+This driver is a thin client of :mod:`repro.api`: every learned series
+is one :func:`repro.api.evaluate_features` call, the baseline series is
+the registered ``always-k`` model family, and the ``*-opt`` series
+prune their base sets through :func:`repro.api.optimised_set`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro.api import (
+    Classifier,
+    ReproConfig,
+    evaluate_features,
+    optimised_set,
+)
+from repro.api.config import DEFAULT_TOLERANCES, cv_repeats
 from repro.dataset.build import Dataset
 from repro.dataset.table import ColumnTable
 from repro.errors import ExperimentError
-from repro.experiments.optsets import optimised_set
-from repro.experiments.runner import DEFAULT_TOLERANCES, cv_repeats
 from repro.features.sets import feature_names
-from repro.ml.metrics import mean_tolerance_curve
-from repro.ml.model_selection import repeated_cv_predict
-from repro.ml.tree import DecisionTreeClassifier
 
 PANELS: dict[str, tuple[str, ...]] = {
     "left": ("static-agg", "static-opt", "dynamic", "dynamic-opt",
@@ -61,13 +66,20 @@ class Figure2Result:
 
 def _series_curve(dataset: Dataset, names: list[str], tolerances,
                   n_splits: int, repeats: int, seed: int) -> list[float]:
-    X = dataset.matrix(names)
-    y = dataset.labels
-    preds, _ = repeated_cv_predict(
-        lambda: DecisionTreeClassifier(random_state=seed), X, y,
-        n_splits=n_splits, repeats=repeats, seed=seed)
-    return mean_tolerance_curve(preds, dataset.energy_matrix,
-                                tolerances, dataset.team_sizes)
+    report = evaluate_features(dataset, names, tolerances=tolerances,
+                               n_splits=n_splits, repeats=repeats,
+                               seed=seed)
+    return report.curve
+
+
+def _baseline_curve(dataset: Dataset, k: int, tolerances,
+                    n_splits: int, repeats: int) -> list[float]:
+    baseline = Classifier(ReproConfig(model="always-k",
+                                      model_params={"k": k}))
+    report = baseline.evaluate(dataset, tolerances=tolerances,
+                               n_splits=n_splits, repeats=repeats,
+                               feature_names=[])
+    return report.curve
 
 
 def run_figure2(dataset: Dataset, panel: str = "left",
@@ -82,9 +94,8 @@ def run_figure2(dataset: Dataset, panel: str = "left",
 
     for series_name in PANELS[panel]:
         if series_name == "always-8":
-            preds = np.full(len(dataset), 8, dtype=int)
-            curve = mean_tolerance_curve(preds, dataset.energy_matrix,
-                                         tolerances, dataset.team_sizes)
+            curve = _baseline_curve(dataset, 8, tolerances, n_splits,
+                                    repeats)
         elif series_name in _OPT_BASES:
             base = feature_names(_OPT_BASES[series_name])
             kept = optimised_set(dataset, base, n_splits=n_splits,

@@ -4,6 +4,9 @@
 * static-opt approaches ~80% at 5% tolerance and exceeds 85% at 8%;
 * the static-vs-dynamic gap stays below 10 points;
 * every learned model dominates the always-8 policy.
+
+A thin client twice over: it reads everything off the Figure-2 result,
+which itself is computed through :mod:`repro.api`.
 """
 
 from __future__ import annotations

@@ -1,58 +1,25 @@
 """Importance-based feature pruning (the paper's ``*-opt`` sets).
 
-§IV.C: "Scoring the features used by the decision tree by importance and
-pruning less informative ones allows getting an optimised classifier".
-We reproduce that: run the repeated CV once on the full set, average the
-gini importances over folds/repeats, and keep the smallest prefix of the
-importance ranking that covers a target share of the total importance.
+The canonical implementation moved to :mod:`repro.api.selection`, where
+the feature-set registry resolves ``static-opt`` / ``dynamic-opt`` from
+it; this module re-exports the functions so existing experiment code
+and notebooks keep working unchanged.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from repro.api.selection import (  # noqa: F401  (re-exported legacy names)
+    DEFAULT_COVERAGE,
+    MIN_FEATURES,
+    optimised_set,
+    prune_by_importance,
+    rank_features,
+)
 
-from repro.dataset.build import Dataset
-from repro.ml.model_selection import repeated_cv_predict
-from repro.ml.tree import DecisionTreeClassifier
-
-#: cumulative importance share the pruned set must retain.
-DEFAULT_COVERAGE = 0.90
-#: never prune below this many features.
-MIN_FEATURES = 3
-
-
-def rank_features(dataset: Dataset, names: list[str], n_splits: int = 10,
-                  repeats: int = 5, seed: int = 0,
-                  ) -> list[tuple[str, float]]:
-    """(feature, mean importance) pairs, sorted by importance."""
-    X = dataset.matrix(names)
-    y = dataset.labels
-    _, importances = repeated_cv_predict(
-        lambda: DecisionTreeClassifier(random_state=seed), X, y,
-        n_splits=n_splits, repeats=repeats, seed=seed)
-    order = np.argsort(importances)[::-1]
-    return [(names[i], float(importances[i])) for i in order]
-
-
-def prune_by_importance(ranking: list[tuple[str, float]],
-                        coverage: float = DEFAULT_COVERAGE,
-                        min_features: int = MIN_FEATURES) -> list[str]:
-    """Shortest importance-ranked prefix covering *coverage* of the mass."""
-    total = sum(score for _, score in ranking) or 1.0
-    kept: list[str] = []
-    acc = 0.0
-    for name, score in ranking:
-        kept.append(name)
-        acc += score / total
-        if acc >= coverage and len(kept) >= min_features:
-            break
-    return kept
-
-
-def optimised_set(dataset: Dataset, base_names: list[str],
-                  n_splits: int = 10, repeats: int = 5, seed: int = 0,
-                  coverage: float = DEFAULT_COVERAGE) -> list[str]:
-    """The pruned (``*-opt``) feature list for a base feature set."""
-    ranking = rank_features(dataset, base_names, n_splits=n_splits,
-                            repeats=repeats, seed=seed)
-    return prune_by_importance(ranking, coverage=coverage)
+__all__ = [
+    "DEFAULT_COVERAGE",
+    "MIN_FEATURES",
+    "optimised_set",
+    "prune_by_importance",
+    "rank_features",
+]

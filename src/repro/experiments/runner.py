@@ -5,49 +5,21 @@ repeats it 100 times — our default is 10 repeats (set
 ``REPRO_CV_REPEATS=100`` to match exactly; curves move by well under a
 point beyond ~10 repeats).
 
-``REPRO_PROFILE`` selects the dataset profile (``paper`` by default;
-``quick`` drops the largest payload size for faster cold builds) and
-``REPRO_JOBS`` the worker count for the labelling campaign and CV
-repeats.  Misconfigured values warn instead of being silently ignored.
+The configuration readers (``REPRO_PROFILE`` / ``REPRO_CV_REPEATS`` /
+``REPRO_JOBS``) now live in :mod:`repro.api.config` — the experiments
+are thin clients of the service layer — and are re-exported here for
+backwards compatibility.
 """
 
 from __future__ import annotations
 
-import os
-import warnings
-
+from repro.api.config import (  # noqa: F401  (re-exported legacy names)
+    DEFAULT_TOLERANCES,
+    active_profile,
+    cv_repeats,
+    default_jobs,
+)
 from repro.dataset.build import Dataset, build_dataset
-from repro.dataset.spec import PROFILES
-from repro.parallel import resolve_jobs
-
-DEFAULT_TOLERANCES = tuple(range(0, 9))
-
-
-def cv_repeats(default: int = 10) -> int:
-    raw = os.environ.get("REPRO_CV_REPEATS")
-    if raw is None:
-        return max(1, default)
-    try:
-        return max(1, int(raw))
-    except ValueError:
-        warnings.warn(
-            f"invalid REPRO_CV_REPEATS={raw!r} (not an integer); "
-            f"falling back to {default}", RuntimeWarning, stacklevel=2)
-        return default
-
-
-def active_profile(default: str = "paper") -> str:
-    profile = os.environ.get("REPRO_PROFILE", default)
-    if profile not in PROFILES:
-        warnings.warn(
-            f"unknown REPRO_PROFILE={profile!r}; known profiles: "
-            f"{sorted(PROFILES)}", RuntimeWarning, stacklevel=2)
-    return profile
-
-
-def default_jobs(default: int = 1) -> int:
-    """Worker count from ``$REPRO_JOBS`` (see :mod:`repro.parallel`)."""
-    return resolve_jobs(None, default=default)
 
 
 def load_dataset(profile: str | None = None, progress=None,

@@ -3,17 +3,18 @@
 Features are scored by the decision tree's gini importance averaged over
 the repeated stratified CV, exactly as the paper builds its ranking; the
 dynamic half lists (metric, team-size) pairs, the static half plain
-feature names.
+feature names.  The ranking itself comes from the service layer
+(:func:`repro.api.rank_features`); this driver only formats it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.api import rank_features
+from repro.api.config import cv_repeats
 from repro.dataset.build import Dataset
 from repro.dataset.table import ColumnTable
-from repro.experiments.optsets import rank_features
-from repro.experiments.runner import cv_repeats
 from repro.features.sets import feature_names
 
 N_DYNAMIC_ROWS = 12  # the paper lists twelve dynamic entries

@@ -30,6 +30,16 @@ class AlwaysKClassifier:
     def predict(self, X) -> np.ndarray:
         return np.full(len(X), self.k, dtype=int)
 
+    def to_dict(self) -> dict:
+        return {"params": {"k": self.k}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AlwaysKClassifier":
+        try:
+            return cls(k=int(data["params"]["k"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MLError(f"malformed always-k payload: {exc!r}")
+
 
 class OracleClassifier:
     """Upper bound: predicts the true label (sanity checks only)."""

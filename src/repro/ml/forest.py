@@ -78,6 +78,43 @@ class RandomForestClassifier:
         votes = np.bincount(flat.ravel(), minlength=n * k).reshape(n, k)
         return self.classes_[votes.argmax(axis=1)]
 
+    # -- serialization ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload: hyper-parameters plus every fitted tree."""
+        if not self.trees_:
+            raise MLError("forest is not fitted")
+        return {
+            "params": {
+                "n_estimators": self.n_estimators,
+                "max_depth": self.max_depth,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+                "random_state": self.random_state,
+            },
+            "classes": self.classes_.tolist(),
+            "feature_importances": self.feature_importances_.tolist(),
+            "trees": [tree.to_dict() for tree in self.trees_],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RandomForestClassifier":
+        """Rebuild a fitted forest from a :meth:`to_dict` payload."""
+        try:
+            forest = cls(**data["params"])
+            forest.classes_ = np.asarray(data["classes"])
+            forest.feature_importances_ = np.asarray(
+                data["feature_importances"], dtype=np.float64)
+            forest.trees_ = [DecisionTreeClassifier.from_dict(tree)
+                             for tree in data["trees"]]
+        except MLError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MLError(f"malformed random-forest payload: {exc!r}")
+        if not forest.trees_:
+            raise MLError("forest payload has no trees")
+        return forest
+
     def _predict_loop(self, X) -> np.ndarray:
         """Seed per-tree/per-row dict voting; kept as the equivalence
         and benchmark baseline for the vectorized ``predict``."""

@@ -311,6 +311,98 @@ class DecisionTreeClassifier:
             probs[i] = node.value / total
         return probs
 
+    # -- serialization ----------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe payload of the fitted tree (flattened node arrays).
+
+        Node 0 is the root; ``feature == -1`` marks a leaf, whose
+        ``value`` row carries the training class counts.  The payload
+        round-trips exactly: :meth:`from_dict` rebuilds the node graph
+        and re-flattens it, so predictions are bit-identical.
+        """
+        self._check_fitted()
+        order: list[_Node] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+        index = {id(node): i for i, node in enumerate(order)}
+        nodes: dict[str, list] = {"feature": [], "threshold": [],
+                                  "left": [], "right": [], "value": []}
+        for node in order:
+            if node.is_leaf:
+                nodes["feature"].append(-1)
+                nodes["threshold"].append(0.0)
+                nodes["left"].append(-1)
+                nodes["right"].append(-1)
+                nodes["value"].append([float(v) for v in node.value])
+            else:
+                nodes["feature"].append(int(node.feature))
+                nodes["threshold"].append(float(node.threshold))
+                nodes["left"].append(index[id(node.left)])
+                nodes["right"].append(index[id(node.right)])
+                nodes["value"].append(None)
+        return {
+            "params": {
+                "max_depth": self.max_depth,
+                "min_samples_split": self.min_samples_split,
+                "min_samples_leaf": self.min_samples_leaf,
+                "max_features": self.max_features,
+                "random_state": self.random_state,
+            },
+            "classes": self.classes_.tolist(),
+            "n_features": int(self.n_features_),
+            "feature_importances": self.feature_importances_.tolist(),
+            "nodes": nodes,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionTreeClassifier":
+        """Rebuild a fitted tree from a :meth:`to_dict` payload."""
+        try:
+            tree = cls(**data["params"])
+            raw = data["nodes"]
+            n = len(raw["feature"])
+            if n == 0:
+                raise MLError("tree payload has no nodes")
+            nodes = [_Node() for _ in range(n)]
+            for i in range(n):
+                if raw["feature"][i] < 0:
+                    nodes[i].value = np.asarray(raw["value"][i],
+                                                dtype=np.float64)
+                else:
+                    left, right = int(raw["left"][i]), int(raw["right"][i])
+                    # to_dict emits nodes in DFS preorder, so children
+                    # always follow their parent; enforcing that here
+                    # rejects cycles and negative-index aliasing in
+                    # hand-edited payloads instead of hanging _flatten()
+                    if not (i < left < n and i < right < n):
+                        raise MLError(
+                            f"tree payload node {i} has invalid "
+                            f"children ({left}, {right}); child indices "
+                            f"must lie in ({i}, {n})")
+                    nodes[i].feature = int(raw["feature"][i])
+                    nodes[i].threshold = float(raw["threshold"][i])
+                    nodes[i].left = nodes[left]
+                    nodes[i].right = nodes[right]
+            tree.classes_ = np.asarray(data["classes"])
+            tree.n_features_ = int(data["n_features"])
+            tree._n_classes = len(tree.classes_)
+            tree.n_nodes_ = n
+            tree.feature_importances_ = np.asarray(
+                data["feature_importances"], dtype=np.float64)
+            tree._root = nodes[0]
+            tree._flatten()
+        except MLError:
+            raise
+        except (KeyError, IndexError, TypeError, ValueError) as exc:
+            raise MLError(f"malformed decision-tree payload: {exc!r}")
+        return tree
+
     # -- introspection ----------------------------------------------------------------
 
     def depth(self) -> int:

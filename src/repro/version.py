@@ -1,0 +1,14 @@
+"""Version constants shared by the library, CLI and model artifacts.
+
+``CODE_VERSION`` is bumped whenever engine/compiler semantics change in
+a way that affects simulation counts — it invalidates both the on-disk
+simulation cache and serialized classifier artifacts (labels may no
+longer hold under the new semantics).  The package version's minor
+component tracks it, so ``repro --version`` output and artifact
+metadata can be correlated.
+"""
+
+#: bump when engine/compiler semantics change in a way that affects counts.
+CODE_VERSION = 5
+
+__version__ = f"1.{CODE_VERSION}.0"

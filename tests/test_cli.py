@@ -1,8 +1,14 @@
-"""CLI tests for the dataset-free subcommands."""
+"""CLI tests for the dataset-free subcommands and the api commands."""
+
+import io
+import json
+import sys
 
 import pytest
 
 from repro.cli import main
+from repro.dataset.registry import all_kernel_specs
+from repro.version import CODE_VERSION, __version__
 
 
 class TestCli:
@@ -37,3 +43,53 @@ class TestCli:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert __version__ in out
+        assert f"code version {CODE_VERSION}" in out
+
+    def test_list_kernels_help_count_computed(self, capsys):
+        """The help text derives the kernel count from the registry."""
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        assert f"list the {len(all_kernel_specs())} dataset kernels" in out
+
+
+class TestCliApi:
+    """train / predict / serve as thin clients of repro.api."""
+
+    @pytest.fixture()
+    def artifact(self, tmp_path, monkeypatch, tiny_dataset, capsys):
+        monkeypatch.setattr("repro.api.classifier.build_dataset",
+                            lambda *args, **kwargs: tiny_dataset)
+        path = str(tmp_path / "model.json")
+        assert main(["train", "--output", path]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_train_writes_artifact(self, artifact, capsys):
+        with open(artifact) as handle:
+            payload = json.load(handle)
+        assert payload["code_version"] == CODE_VERSION
+        assert payload["model_family"] == "tree"
+
+    def test_predict_from_artifact(self, artifact, capsys):
+        assert main(["predict", "gemm", "--model", artifact,
+                     "--size", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "predicted minimum-energy team size" in out
+
+    def test_serve_from_artifact(self, artifact, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sys, "stdin",
+            io.StringIO('{"kernel": "gemm", "size": 512, "id": 1}\n'))
+        assert main(["serve", "--model", artifact]) == 0
+        out = capsys.readouterr().out
+        response = json.loads(out.strip().splitlines()[0])
+        assert response["ok"] is True
+        assert response["prediction"] in range(1, 9)
