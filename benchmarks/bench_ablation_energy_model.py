@@ -6,7 +6,6 @@ distribution shifts when leakage/background or active-wait pricing
 change — the design choice DESIGN.md calls out.
 """
 
-import pytest
 
 from repro.experiments.ablation import run_energy_model_ablation
 from repro.experiments.runner import active_profile

@@ -3,12 +3,15 @@
 Times (a) a cold labelling-campaign build at ``--jobs 1`` vs
 ``--jobs N`` (fresh cache directories, so both runs simulate
 everything), (b) 10k-row forest/tree inference with the seed
-per-row loops vs the vectorized implementations, and (c) the
+per-row loops vs the vectorized implementations, (c) the
 :mod:`repro.api` serving path — model-artifact load latency and
-single-prediction latency for the tree and forest families — then
-writes the numbers to ``BENCH_pipeline.json`` so later PRs can track
-the trajectory.  With ``--skip-build`` the previous file's
-``cold_build`` section is carried over instead of dropped.
+single-prediction latency for the tree and forest families — and
+(d) the persistent scoring daemon: round-trip latency and rows/sec
+over a Unix socket at 1/4/16 concurrent clients plus one-connection
+batched throughput — then writes the numbers to
+``BENCH_pipeline.json`` so later PRs can track the trajectory.  With
+``--skip-build`` the previous file's ``cold_build`` section is carried
+over instead of dropped.
 
 Run from the repo root as a single command::
 
@@ -141,6 +144,105 @@ def bench_model_io(loads: int = 20, predictions: int = 500) -> dict:
     return results
 
 
+def bench_daemon(concurrencies=(1, 4, 16), requests_per_client: int = 200,
+                 batch_rows: int = 10_000) -> dict:
+    """Daemon round-trip latency and throughput under concurrency.
+
+    Starts one :class:`repro.api.ScoringDaemon` on a Unix socket (model
+    loaded exactly once), then for each concurrency level runs N client
+    threads each sending *requests_per_client* single-row requests over
+    its own :class:`repro.api.ScoringClient` connection.  Records the
+    round-trip latency distribution and aggregate rows/sec, plus the
+    one-connection batched throughput at *batch_rows* rows.
+    """
+    import threading
+
+    from repro.api import (
+        Classifier,
+        ReproConfig,
+        ScoringClient,
+        ScoringDaemon,
+    )
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_daemon_")
+    results: dict = {"transport": "unix",
+                     "requests_per_client": requests_per_client,
+                     "levels": []}
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        clf = Classifier(ReproConfig(profile="unit")).train(dataset)
+        X = dataset.matrix(clf.feature_names_)
+        rows = [list(map(float, row)) for row in X]
+        socket_path = os.path.join(workdir, "bench.sock")
+        daemon = ScoringDaemon(clf, socket_path=socket_path,
+                               workers=max(concurrencies))
+        with daemon:
+            # warm-up: one connection, a few requests
+            with ScoringClient(socket_path=socket_path) as client:
+                for row in rows[:4]:
+                    client.predict(row)
+
+            for n_clients in concurrencies:
+                latencies: list = []
+                lock = threading.Lock()
+
+                def worker() -> None:
+                    local: list = []
+                    with ScoringClient(socket_path=socket_path) as cl:
+                        for i in range(requests_per_client):
+                            row = rows[i % len(rows)]
+                            start = time.perf_counter()
+                            cl.predict(row)
+                            local.append(time.perf_counter() - start)
+                    with lock:
+                        latencies.extend(local)
+
+                threads = [threading.Thread(target=worker)
+                           for _ in range(n_clients)]
+                wall_start = time.perf_counter()
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                wall = time.perf_counter() - wall_start
+                lat_us = np.sort(np.asarray(latencies)) * 1e6
+                total = n_clients * requests_per_client
+                results["levels"].append({
+                    "clients": n_clients,
+                    "requests": total,
+                    "round_trip_us_p50": round(
+                        float(np.percentile(lat_us, 50)), 1),
+                    "round_trip_us_p99": round(
+                        float(np.percentile(lat_us, 99)), 1),
+                    "rows_per_sec": round(total / wall, 1),
+                })
+
+            # batched: one connection, one request, many rows
+            reps = max(1, -(-batch_rows // len(rows)))
+            big = (rows * reps)[:batch_rows]
+            with ScoringClient(socket_path=socket_path) as client:
+                client.predict_batch(big[:64])  # warm-up
+                start = time.perf_counter()
+                preds = client.predict_batch(big)
+                batch_s = time.perf_counter() - start
+            if preds != [int(p) for p in clf.predict_batch(
+                    np.asarray(big))]:
+                raise AssertionError("daemon batch predictions diverge "
+                                     "from the local classifier")
+            results["batched"] = {
+                "rows": len(big),
+                "seconds": round(batch_s, 4),
+                "rows_per_sec": round(len(big) / batch_s, 1),
+            }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="quick",
@@ -154,6 +256,9 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default="BENCH_pipeline.json")
     parser.add_argument("--skip-build", action="store_true",
                         help="only run the inference benchmark")
+    parser.add_argument("--daemon-requests", type=int, default=200,
+                        help="single-row requests per daemon client "
+                             "(default 200)")
     args = parser.parse_args(argv)
 
     results: dict = {
@@ -202,6 +307,18 @@ def main(argv=None) -> int:
         print(f"  {family:6s} load {io_stats['load_ms']} ms, "
               f"predict {io_stats['predict_us']} us "
               f"({io_stats['artifact_kb']} KiB)")
+
+    print("daemon round-trip latency / throughput ...", flush=True)
+    results["daemon"] = bench_daemon(
+        requests_per_client=args.daemon_requests)
+    for level in results["daemon"]["levels"]:
+        print(f"  {level['clients']:>2} client(s): "
+              f"p50 {level['round_trip_us_p50']} us, "
+              f"p99 {level['round_trip_us_p99']} us, "
+              f"{level['rows_per_sec']} rows/s")
+    batched = results["daemon"]["batched"]
+    print(f"  batched   : {batched['rows']} rows in "
+          f"{batched['seconds']} s ({batched['rows_per_sec']} rows/s)")
 
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)

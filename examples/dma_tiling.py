@@ -16,7 +16,7 @@ from repro.dataset.custom import dma_tiled_stream
 from repro.dataset.registry import get_kernel_spec
 from repro.energy.report import format_breakdown
 from repro.ir.types import DType
-from repro.sim.results import minimum_energy_label, sweep_cores
+from repro.sim.results import sweep_cores
 
 SIZE = 8192
 

@@ -11,7 +11,7 @@ the Table-I energy model, and read off the minimum-energy configuration.
 
 from repro.energy.report import format_breakdown
 from repro.features import extract_agg, extract_mca, extract_raw
-from repro.ir import KernelBuilder, Load, Loop, Store
+from repro.ir import KernelBuilder, Load, Store
 from repro.ir.expr import var
 from repro.ir.types import DType
 from repro.sim.results import minimum_energy_label, sweep_cores

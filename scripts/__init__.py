@@ -1,0 +1,1 @@
+"""CI helper scripts (importable for tests)."""

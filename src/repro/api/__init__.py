@@ -17,8 +17,21 @@ are thin clients of this package.
 Extension points: :func:`register_model_family` (e.g. a new ensemble)
 and :func:`register_feature_set` (e.g. a new static feature family)
 plug new behaviour in without touching any caller.
+
+Serving: :class:`ScoringDaemon` keeps one loaded classifier resident
+behind a Unix/TCP socket and answers the JSON-lines protocol for many
+concurrent clients; :class:`ScoringClient` is its wire client; and
+:func:`load_or_train` caches trained model artifacts keyed on
+``(dataset tag, CODE_VERSION, model family, feature set)`` so identical
+configurations never retrain.
 """
 
+from repro.api.artifact_cache import (
+    artifact_key,
+    artifact_path,
+    dataset_tag,
+    load_or_train,
+)
 from repro.api.classifier import (
     ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
@@ -26,6 +39,12 @@ from repro.api.classifier import (
     EvaluationReport,
     evaluate_features,
     kernel_features,
+)
+from repro.api.client import ScoringClient
+from repro.api.daemon import (
+    DEFAULT_WORKERS,
+    ScoringDaemon,
+    parse_tcp_endpoint,
 )
 from repro.api.config import (
     DEFAULT_TOLERANCES,
@@ -43,12 +62,19 @@ from repro.api.registry import (
     register_model_family,
     resolve_feature_set,
 )
+from repro.api.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_INVALID_JSON,
+    error_frame,
+    ok_frame,
+)
 from repro.api.selection import (
     optimised_set,
     prune_by_importance,
     rank_features,
 )
-from repro.api.service import handle_request, serve
+from repro.api.service import handle_request, process_line, serve
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -57,6 +83,20 @@ __all__ = [
     "EvaluationReport",
     "evaluate_features",
     "kernel_features",
+    "artifact_key",
+    "artifact_path",
+    "dataset_tag",
+    "load_or_train",
+    "ScoringClient",
+    "ScoringDaemon",
+    "DEFAULT_WORKERS",
+    "parse_tcp_endpoint",
+    "ERROR_BAD_REQUEST",
+    "ERROR_INTERNAL",
+    "ERROR_INVALID_JSON",
+    "error_frame",
+    "ok_frame",
+    "process_line",
     "DEFAULT_TOLERANCES",
     "ReproConfig",
     "active_profile",

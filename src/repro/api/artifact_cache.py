@@ -1,0 +1,113 @@
+"""Model-artifact cache: train once per (data, code, model) identity.
+
+``repro train`` (and the default-model paths of ``repro predict`` /
+``repro serve``) used to retrain from scratch on every invocation even
+when nothing relevant had changed.  This module keys saved classifier
+artifacts on the full identity of what a training run would produce:
+
+* the **dataset tag** (profile name, and sample count when a concrete
+  dataset is supplied),
+* ``CODE_VERSION`` (simulator semantics — changing it relabels the
+  campaign, so every older artifact is stale),
+* the **model family** and its hyper-parameters and seed,
+* the **feature set** name.
+
+Identical inputs resolve to the same artifact path and are served from
+disk without a second ``fit``; changing any key component forces a
+retrain.  Artifacts that exist but fail to load (corrupt file, written
+under a different ``CODE_VERSION``) are retrained over, never trusted.
+
+The cache directory defaults to ``.repro_cache/models`` next to the
+simulation cache and can be pointed elsewhere with
+``$REPRO_ARTIFACT_CACHE``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.api.classifier import Classifier
+from repro.api.config import ReproConfig
+from repro.errors import MLError
+from repro.version import CODE_VERSION
+
+#: default artifact directory, next to the simulation cache.
+DEFAULT_ARTIFACT_DIR = os.path.join(".repro_cache", "models")
+
+
+def artifact_cache_dir(cache_dir: str | None = None) -> str:
+    """Resolve the artifact directory (arg > env > default)."""
+    if cache_dir is not None:
+        return cache_dir
+    return os.environ.get("REPRO_ARTIFACT_CACHE", DEFAULT_ARTIFACT_DIR)
+
+
+def dataset_tag(dataset=None, profile: str | None = None) -> str:
+    """The dataset component of the cache key.
+
+    A concrete dataset is tagged by profile, sample count and a digest
+    of its sample ids, so a classifier trained on a hand-picked subset
+    never aliases one trained on the full campaign — or on a different
+    same-size subset; a bare profile name tags the build-on-demand
+    path.
+    """
+    if dataset is not None:
+        ids = ",".join(sample.sample_id for sample in dataset.samples)
+        digest = hashlib.sha1(ids.encode("utf-8")).hexdigest()[:8]
+        return f"{dataset.profile}-{len(dataset)}-{digest}"
+    return str(profile)
+
+
+def artifact_key(config: ReproConfig, tag: str) -> str:
+    """Digest of everything that determines the trained artifact."""
+    identity = {
+        "dataset": tag,
+        "code_version": CODE_VERSION,
+        "model": config.model,
+        "model_params": dict(config.model_params),
+        "feature_set": config.feature_set,
+        "seed": config.seed,
+        "n_splits": config.n_splits,
+    }
+    payload = json.dumps(identity, sort_keys=True)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def artifact_path(
+    config: ReproConfig,
+    dataset=None,
+    cache_dir: str | None = None,
+) -> str:
+    """Where the artifact for this training identity lives on disk."""
+    key = artifact_key(config, dataset_tag(dataset, config.profile))
+    name = f"model_{config.model}_{config.feature_set}_{key}.json"
+    return os.path.join(artifact_cache_dir(cache_dir), name)
+
+
+def load_or_train(
+    config: ReproConfig | None = None,
+    dataset=None,
+    cache_dir: str | None = None,
+    force: bool = False,
+    progress=None,
+) -> tuple:
+    """A fitted classifier for *config*, cached across invocations.
+
+    Returns ``(classifier, cache_hit)``.  On a miss (or ``force=True``,
+    or a stale/corrupt artifact) the classifier is trained — building
+    the configured dataset when none is given — and the fresh artifact
+    is saved back to the cache.
+    """
+    config = config or ReproConfig()
+    path = artifact_path(config, dataset, cache_dir)
+    if not force and os.path.exists(path):
+        try:
+            return Classifier.load(path), True
+        except MLError:
+            pass  # stale or corrupt artifact: fall through and retrain
+    classifier = Classifier(config).train(dataset, progress=progress)
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    classifier.save(path)
+    return classifier, False

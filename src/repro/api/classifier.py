@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 import numpy as np
@@ -324,6 +324,13 @@ class Classifier:
                 payload.get("format") != ARTIFACT_FORMAT:
             raise MLError(f"{path!r} is not a repro classifier artifact "
                           f"(format != {ARTIFACT_FORMAT!r})")
+        format_version = payload.get("format_version", 1)
+        if not isinstance(format_version, int) or \
+                format_version > ARTIFACT_VERSION:
+            raise MLError(
+                f"model artifact {path!r} uses artifact format version "
+                f"{format_version!r}, but this build supports up to "
+                f"{ARTIFACT_VERSION}; upgrade the library or retrain")
         artifact_code = payload.get("code_version")
         if artifact_code != CODE_VERSION and not allow_version_mismatch:
             raise MLError(

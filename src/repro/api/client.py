@@ -1,0 +1,201 @@
+"""Wire client for the persistent scoring daemon.
+
+:class:`ScoringClient` speaks the JSON-lines protocol of
+:mod:`repro.api.protocol` over a Unix domain socket or TCP connection
+to a :class:`repro.api.daemon.ScoringDaemon`.  Every request is stamped
+with a monotonically increasing ``"id"`` and the response id is checked
+against it, so a desynchronized stream surfaces as a loud
+:class:`repro.errors.ScoringError` instead of silently mis-pairing
+answers.  Typed error frames from the daemon raise
+:class:`ScoringError` with the frame's machine-readable ``code``.
+
+Usage::
+
+    with ScoringClient(socket_path="/tmp/repro.sock") as client:
+        client.predict({"op": 3072.0, ...})     # feature mapping
+        client.predict_kernel("gemm", size=512)  # registry kernel
+        client.predict_batch(rows)               # (n, n_features) rows
+        client.info()                            # loaded-model summary
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+from repro.errors import ScoringError
+
+#: raised (as ScoringError.code) on response-id mismatches.
+ERROR_ID_MISMATCH = "id_mismatch"
+#: raised (as ScoringError.code) on transport-level failures.
+ERROR_TRANSPORT = "transport"
+
+
+class ScoringClient:
+    """One connection to a scoring daemon; thread-safe request pairing.
+
+    Exactly one endpoint must be given: ``socket_path`` (Unix domain
+    socket) or ``tcp`` (a ``(host, port)`` pair).  The connection opens
+    eagerly so a bad endpoint fails at construction, not first use.
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        tcp: tuple | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        if (socket_path is None) == (tcp is None):
+            raise ScoringError(
+                "configure exactly one endpoint: socket_path=PATH or "
+                "tcp=(host, port)",
+                code=ERROR_TRANSPORT,
+            )
+        if socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            endpoint: object = socket_path
+        else:
+            host, port = tcp
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            endpoint = (host, int(port))
+        sock.settimeout(timeout)
+        try:
+            sock.connect(endpoint)
+        except OSError as exc:
+            sock.close()
+            raise ScoringError(
+                f"cannot connect to scoring daemon at {endpoint!r}: {exc}",
+                code=ERROR_TRANSPORT,
+            )
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one request frame, await and validate its response.
+
+        Returns the decoded success frame.  Raises
+        :class:`ScoringError` on typed error frames (carrying the
+        daemon's ``code``), on response-id mismatches and on transport
+        failures.
+        """
+        with self._lock:
+            if self._closed:
+                raise ScoringError("client is closed", code=ERROR_TRANSPORT)
+            req_id = self._next_id
+            self._next_id += 1
+            frame = dict(payload)
+            frame["id"] = req_id
+            try:
+                self._sock.sendall((json.dumps(frame) + "\n").encode("utf-8"))
+                line = self._reader.readline()
+            except OSError as exc:
+                raise ScoringError(
+                    f"transport failure talking to the daemon: {exc}",
+                    code=ERROR_TRANSPORT,
+                    request_id=req_id,
+                )
+            if not line:
+                raise ScoringError(
+                    "connection closed by the daemon before a response "
+                    "arrived",
+                    code=ERROR_TRANSPORT,
+                    request_id=req_id,
+                )
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ScoringError(
+                    f"daemon sent an undecodable frame: {exc}",
+                    code=ERROR_TRANSPORT,
+                    request_id=req_id,
+                )
+        if not isinstance(response, dict):
+            raise ScoringError(
+                "daemon sent a non-object frame",
+                code=ERROR_TRANSPORT,
+                request_id=req_id,
+            )
+        if not response.get("ok") and "id" not in response:
+            # an error frame may legitimately lack an id (the daemon
+            # could not decode the request far enough to find one);
+            # surface the daemon's code rather than an id mismatch
+            raise ScoringError(
+                str(response.get("error", "unspecified daemon error")),
+                code=response.get("code"),
+                request_id=req_id,
+            )
+        if response.get("id") != req_id:
+            raise ScoringError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {req_id!r}; stream is desynchronized",
+                code=ERROR_ID_MISMATCH,
+                request_id=req_id,
+            )
+        if not response.get("ok"):
+            raise ScoringError(
+                str(response.get("error", "unspecified daemon error")),
+                code=response.get("code"),
+                request_id=req_id,
+            )
+        return response
+
+    # -- scoring verbs -----------------------------------------------------
+
+    def predict(self, features) -> int:
+        """Score one feature mapping or feature vector."""
+        if hasattr(features, "keys"):
+            payload = {"features": {k: float(v) for k, v in features.items()}}
+        else:
+            payload = {"features": [float(v) for v in features]}
+        return int(self.request(payload)["prediction"])
+
+    def predict_kernel(
+        self,
+        name: str,
+        dtype: str = "int32",
+        size: int = 2048,
+    ) -> int:
+        """Score a registry kernel built server-side."""
+        response = self.request({"kernel": name, "dtype": dtype, "size": size})
+        return int(response["prediction"])
+
+    def predict_batch(self, rows) -> list:
+        """Score many pre-assembled feature vectors in one round trip."""
+        if hasattr(rows, "tolist"):
+            rows = rows.tolist()
+        encoded = [[float(v) for v in row] for row in rows]
+        response = self.request({"rows": encoded})
+        return [int(p) for p in response["predictions"]]
+
+    def info(self) -> dict:
+        """The daemon's loaded-model summary (family, features, versions)."""
+        return dict(self.request({"cmd": "info"})["info"])
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ScoringClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,309 @@
+"""Persistent scoring daemon: the JSON-lines protocol over a socket.
+
+``repro serve`` on stdin/stdout pays the model-load cost on every
+process start and serves exactly one client.  :class:`ScoringDaemon`
+keeps one fitted :class:`repro.api.Classifier` resident and serves the
+same protocol (see :mod:`repro.api.protocol`) to many concurrent
+clients over a Unix domain socket or a TCP endpoint, dispatching each
+connection to a thread pool.  Predictions are pure numpy reads on the
+shared model, so worker threads score without locking and every
+response is byte-identical to a local ``predict_batch`` call.
+
+Typical embedding::
+
+    daemon = ScoringDaemon(classifier, socket_path="/tmp/repro.sock")
+    with daemon:
+        ...  # clients connect via repro.api.client.ScoringClient
+
+or from the shell: ``repro serve --socket /tmp/repro.sock --workers 8``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import stat
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.api.classifier import Classifier
+from repro.api.service import process_line
+from repro.errors import DaemonError
+
+#: default worker-thread count (and so the concurrent-connection cap).
+DEFAULT_WORKERS = 16
+
+
+def _reclaim_stale_unix_socket(path: str) -> None:
+    """Unlink *path* if it is a socket nobody is listening on.
+
+    A daemon that died without :meth:`ScoringDaemon.stop` leaves its
+    socket file behind; binding over it must work, but silently
+    deleting a live daemon's socket (or an unrelated file) must not.
+    """
+    if not os.path.exists(path):
+        return
+    if not stat.S_ISSOCK(os.stat(path).st_mode):
+        raise DaemonError(
+            f"socket path {path!r} exists and is not a socket; refusing "
+            f"to overwrite it"
+        )
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    try:
+        probe.settimeout(0.2)
+        probe.connect(path)
+    except OSError:
+        os.unlink(path)  # stale: no listener behind it
+    else:
+        raise DaemonError(f"socket path {path!r} already has a live listener")
+    finally:
+        probe.close()
+
+
+class ScoringDaemon:
+    """Serve one loaded classifier to many clients over a socket.
+
+    Exactly one transport must be configured: ``socket_path`` (a Unix
+    domain socket) or ``tcp`` (a ``(host, port)`` pair; port 0 binds an
+    ephemeral port, readable back from :attr:`address`).  ``workers``
+    bounds the number of concurrently served connections; further
+    connections queue in the listen backlog until a worker frees up.
+    """
+
+    def __init__(
+        self,
+        classifier: Classifier,
+        socket_path: str | None = None,
+        tcp: tuple | None = None,
+        workers: int = DEFAULT_WORKERS,
+        backlog: int = 128,
+    ) -> None:
+        if (socket_path is None) == (tcp is None):
+            raise DaemonError(
+                "configure exactly one transport: socket_path=PATH or "
+                "tcp=(host, port)"
+            )
+        if not classifier.is_fitted:
+            raise DaemonError(
+                "classifier is not fitted; train or load a model before "
+                "serving it"
+            )
+        if workers < 1:
+            raise DaemonError(f"workers must be >= 1, got {workers}")
+        self.classifier = classifier
+        self.socket_path = socket_path
+        self.tcp = tuple(tcp) if tcp is not None else None
+        self.workers = workers
+        self.backlog = backlog
+        self._listener: socket.socket | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._acceptor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._stopped = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: set = set()
+        self._slots: threading.Semaphore | None = None
+        self._requests_served = 0
+        self._connections_served = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def is_running(self) -> bool:
+        return self._listener is not None and not self._stopping.is_set()
+
+    @property
+    def address(self) -> tuple:
+        """The bound endpoint: ``("unix", path)`` or ``("tcp", host, port)``.
+
+        For TCP the port is the *actual* bound port, so requesting port
+        0 and reading the address back yields a usable endpoint.
+        """
+        if self.socket_path is not None:
+            return ("unix", self.socket_path)
+        if self._listener is not None:
+            host, port = self._listener.getsockname()[:2]
+            return ("tcp", host, port)
+        return ("tcp",) + self.tcp
+
+    def start(self) -> "ScoringDaemon":
+        """Bind the socket and start accepting connections."""
+        if self._listener is not None:
+            raise DaemonError("daemon is already started")
+        if self.socket_path is not None:
+            _reclaim_stale_unix_socket(self.socket_path)
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            try:
+                listener.bind(self.socket_path)
+            except OSError as exc:
+                listener.close()
+                raise DaemonError(
+                    f"cannot bind unix socket {self.socket_path!r}: {exc}"
+                )
+        else:
+            host, port = self.tcp
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind((host, int(port)))
+            except OSError as exc:
+                listener.close()
+                raise DaemonError(f"cannot bind tcp {host}:{port}: {exc}")
+        listener.listen(self.backlog)
+        # a bounded accept timeout guarantees the acceptor re-checks the
+        # stop flag even on platforms where closing a listener does not
+        # wake a blocked accept()
+        listener.settimeout(0.5)
+        self._stopping.clear()
+        self._stopped.clear()
+        self._listener = listener
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-score",
+        )
+        self._slots = threading.Semaphore(self.workers)
+        self._acceptor = threading.Thread(
+            target=self._accept_loop,
+            name="repro-accept",
+            daemon=True,
+        )
+        self._acceptor.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting, close live connections, drain the pool.
+
+        Idempotent; a Unix socket path is unlinked on the way out so a
+        clean restart can re-bind it.
+        """
+        if self._listener is None:
+            return
+        self._stopping.set()
+        try:
+            # shutdown() (unlike close()) wakes a blocked accept() on
+            # Linux; the accept timeout covers platforms where it won't
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout)
+            self._acceptor = None
+        with self._lock:
+            live = list(self._connections)
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._listener = None
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self._stopped.set()
+
+    def serve_forever(self) -> None:
+        """Start (if needed) and block until :meth:`stop` is called.
+
+        A ``KeyboardInterrupt`` triggers a clean :meth:`stop`, so
+        Ctrl-C on ``repro serve --socket`` shuts down gracefully.
+        """
+        if self._listener is None:
+            self.start()
+        try:
+            self._stopped.wait()
+        except KeyboardInterrupt:
+            self.stop()
+
+    def __enter__(self) -> "ScoringDaemon":
+        if self._listener is None:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # -- serving -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Lifetime counters (requests, connections, live connections)."""
+        with self._lock:
+            return {
+                "requests_served": self._requests_served,
+                "connections_served": self._connections_served,
+                "active_connections": len(self._connections),
+                "workers": self.workers,
+            }
+
+    def _accept_loop(self) -> None:
+        # a semaphore slot per worker: accept only when a worker can
+        # actually serve the connection, so excess clients wait in the
+        # kernel listen backlog instead of an unbounded internal queue
+        while not self._stopping.is_set():
+            if not self._slots.acquire(timeout=0.5):
+                continue  # all workers busy; re-check the stop flag
+            conn = None
+            while not self._stopping.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                    break
+                except socket.timeout:
+                    continue  # periodic stop-flag check
+                except OSError:
+                    break  # listener closed by stop()
+            if conn is None or self._stopping.is_set():
+                self._slots.release()
+                if conn is not None:
+                    conn.close()
+                break
+            with self._lock:
+                self._connections.add(conn)
+            self._pool.submit(self._serve_connection, conn)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """One client session: read lines, answer frames, until EOF."""
+        try:
+            reader = conn.makefile("r", encoding="utf-8", errors="replace")
+            writer = conn.makefile("w", encoding="utf-8")
+            with reader, writer:
+                for line in reader:
+                    # process_line answers every failure mode itself
+                    # (invalid JSON, bad requests, internal errors with
+                    # the request id preserved) — it does not raise
+                    response = process_line(self.classifier, line)
+                    if response is None:
+                        continue
+                    writer.write(response)
+                    writer.flush()
+                    with self._lock:
+                        self._requests_served += 1
+        except OSError:
+            pass  # client went away mid-session; nothing to answer
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+                self._connections_served += 1
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._slots.release()
+
+
+def parse_tcp_endpoint(endpoint: str) -> tuple:
+    """Parse ``HOST:PORT`` (the ``repro serve --tcp`` argument)."""
+    host, sep, port = endpoint.rpartition(":")
+    if not sep or not host:
+        raise DaemonError(f"endpoint must look like HOST:PORT, got {endpoint!r}")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise DaemonError(f"tcp port must be an integer, got {port!r}")

@@ -1,0 +1,76 @@
+"""Wire codec for the JSON-lines scoring protocol.
+
+Both transports — ``repro serve`` on stdin/stdout and the persistent
+:class:`repro.api.daemon.ScoringDaemon` on a Unix/TCP socket — speak
+the same protocol: one JSON object per line in, one JSON object per
+line out.  This module is the single place that encodes and decodes
+those frames, so the two paths cannot drift apart.
+
+Success frames are ``{"ok": true, ...payload...}``; error frames are::
+
+    {"ok": false, "code": "<machine-readable>", "error": "<human text>"}
+
+with the request ``"id"`` echoed on both when the request carried one.
+The error ``code`` is one of the ``ERROR_*`` constants below, so
+clients (see :class:`repro.api.client.ScoringClient`) can dispatch on
+it without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: the request line was not valid JSON at all.
+ERROR_INVALID_JSON = "invalid_json"
+#: the request decoded but could not be served (unknown kernel, missing
+#: features, bad shapes, unsupported verb, non-object request, ...).
+ERROR_BAD_REQUEST = "bad_request"
+#: the server hit an unexpected condition; the connection survives.
+ERROR_INTERNAL = "internal"
+
+ERROR_CODES = (ERROR_INVALID_JSON, ERROR_BAD_REQUEST, ERROR_INTERNAL)
+
+
+def request_id(request) -> object | None:
+    """The correlation id of a decoded request, if it carries one."""
+    if isinstance(request, dict) and "id" in request:
+        return request["id"]
+    return None
+
+
+def ok_frame(payload: dict, req_id=None) -> dict:
+    """A success frame carrying *payload*, echoing the request id."""
+    frame: dict = {"ok": True}
+    if req_id is not None:
+        frame["id"] = req_id
+    frame.update(payload)
+    return frame
+
+
+def error_frame(code: str, message: str, req_id=None) -> dict:
+    """A typed error frame (``ok=false`` + machine-readable ``code``)."""
+    frame: dict = {"ok": False, "code": code, "error": message}
+    if req_id is not None:
+        frame["id"] = req_id
+    return frame
+
+
+def decode_request(line: str):
+    """Decode one request line.
+
+    Returns ``(request, None)`` on success and ``(None, error_frame)``
+    when the line is not valid JSON; blank lines decode to
+    ``(None, None)`` and should be skipped by the caller.
+    """
+    line = line.strip()
+    if not line:
+        return None, None
+    try:
+        return json.loads(line), None
+    except json.JSONDecodeError as exc:
+        return None, error_frame(ERROR_INVALID_JSON, f"invalid JSON: {exc}")
+
+
+def encode_frame(frame: dict) -> str:
+    """Serialize one response frame, newline-terminated."""
+    return json.dumps(frame) + "\n"

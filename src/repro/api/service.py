@@ -16,53 +16,89 @@ container health checks alike.  Requests:
 
 Every request may carry an ``"id"`` which is echoed in the response.
 Responses are ``{"ok": true, "prediction": k}`` (or ``"predictions"``
-for batches, ``"info"`` for info) or ``{"ok": false, "error": "..."}``;
-a malformed line never kills the service.
+for batches, ``"info"`` for info) or typed error frames
+``{"ok": false, "code": "...", "error": "..."}`` (see
+:mod:`repro.api.protocol` for the code vocabulary); a malformed line
+never kills the service.
+
+The frame codec lives in :mod:`repro.api.protocol` and
+:func:`process_line` is transport-agnostic, so the stdin/stdout loop
+here and the socket daemon in :mod:`repro.api.daemon` serve
+byte-identical responses for the same requests.
 """
 
 from __future__ import annotations
 
-import json
 import sys
 
 from repro.api.classifier import Classifier
+from repro.api.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    decode_request,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    request_id,
+)
 from repro.dataset.registry import get_kernel_spec
 from repro.errors import ReproError
 from repro.ir.types import parse_dtype
 
 
 def handle_request(classifier: Classifier, request) -> dict:
-    """Score one decoded request; errors become error responses."""
-    response: dict = {"ok": True}
-    if isinstance(request, dict) and "id" in request:
-        response["id"] = request["id"]
+    """Score one decoded request; errors become typed error frames."""
+    req_id = request_id(request)
     try:
         if not isinstance(request, dict):
             raise ReproError("request must be a JSON object")
         if request.get("cmd") == "info":
-            response["info"] = classifier.info()
-        elif "rows" in request:
+            return ok_frame({"info": classifier.info()}, req_id)
+        if "rows" in request:
             preds = classifier.predict_batch(request["rows"])
-            response["predictions"] = [int(p) for p in preds]
-        elif "features" in request:
-            response["prediction"] = classifier.predict(
-                request["features"])
-        elif "kernel" in request:
+            return ok_frame(
+                {"predictions": [int(p) for p in preds]}, req_id)
+        if "features" in request:
+            prediction = classifier.predict(request["features"])
+            return ok_frame({"prediction": prediction}, req_id)
+        if "kernel" in request:
             spec = get_kernel_spec(str(request["kernel"]))
             dtype = parse_dtype(str(request.get("dtype", "int32")))
             size = int(request.get("size", 2048))
             kernel = spec.build(dtype, size)
-            response["prediction"] = classifier.predict(kernel)
-        else:
-            raise ReproError(
-                "unsupported request; expected one of the keys "
-                "'kernel', 'features', 'rows' or cmd='info'")
+            return ok_frame(
+                {"prediction": classifier.predict(kernel)}, req_id)
+        raise ReproError(
+            "unsupported request; expected one of the keys "
+            "'kernel', 'features', 'rows' or cmd='info'")
     except (ReproError, TypeError, ValueError) as exc:
-        return {"ok": False, "error": str(exc),
-                **({"id": request["id"]}
-                   if isinstance(request, dict) and "id" in request
-                   else {})}
-    return response
+        # bare KeyError is deliberately NOT caught here: no well-formed
+        # client input raises it, so one surfacing is a server bug and
+        # belongs in process_line's 'internal' frame, not 'bad_request'
+        return error_frame(ERROR_BAD_REQUEST, str(exc), req_id)
+
+
+def process_line(classifier: Classifier, line: str) -> str | None:
+    """One protocol turn: request line in, encoded response frame out.
+
+    Blank lines yield ``None`` (nothing to answer); malformed JSON and
+    unservable requests yield encoded error frames.  This is the shared
+    core of the stdio loop below and of every daemon worker thread.
+    """
+    request, decode_error = decode_request(line)
+    if decode_error is not None:
+        return encode_frame(decode_error)
+    if request is None:
+        return None
+    try:
+        return encode_frame(handle_request(classifier, request))
+    except Exception as exc:
+        # unexpected server-side condition (including responses that
+        # fail to JSON-encode): answer a typed internal frame carrying
+        # the request id instead of killing the serving loop
+        return encode_frame(error_frame(ERROR_INTERNAL,
+                                        f"internal error: {exc}",
+                                        request_id(request)))
 
 
 def serve(classifier: Classifier, stdin=None, stdout=None) -> int:
@@ -71,16 +107,10 @@ def serve(classifier: Classifier, stdin=None, stdout=None) -> int:
     stdout = stdout if stdout is not None else sys.stdout
     handled = 0
     for line in stdin:
-        line = line.strip()
-        if not line:
+        response = process_line(classifier, line)
+        if response is None:
             continue
-        try:
-            request = json.loads(line)
-        except json.JSONDecodeError as exc:
-            response = {"ok": False, "error": f"invalid JSON: {exc}"}
-        else:
-            response = handle_request(classifier, request)
-        stdout.write(json.dumps(response) + "\n")
+        stdout.write(response)
         stdout.flush()
         handled += 1
     return handled

@@ -14,6 +14,8 @@ Examples::
     repro train --features static-all --model tree -o model.json
     repro predict gemm --model model.json --dtype fp32 --size 2048
     repro serve --model model.json < requests.jsonl
+    repro serve --model model.json --socket /tmp/repro.sock --workers 8
+    repro serve --model model.json --tcp 127.0.0.1:7878
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) runs the labelling campaign on N
 worker processes; ``--jobs 0`` uses every CPU.  The on-disk simulation
@@ -22,9 +24,14 @@ and the assembled dataset is identical for any worker count.
 
 ``train`` / ``predict`` / ``serve`` are thin clients of
 :mod:`repro.api`: ``train`` fits the configured model family once and
-writes a JSON artifact, ``predict`` scores a kernel against it, and
-``serve`` answers JSON-lines scoring requests on stdin/stdout (see
-:mod:`repro.api.service` for the protocol).
+writes a JSON artifact (skipping the fit entirely when the artifact
+cache already holds an up-to-date model — ``--force`` overrides),
+``predict`` scores a kernel against it, and ``serve`` answers
+JSON-lines scoring requests on stdin/stdout, or — with ``--socket
+PATH`` / ``--tcp HOST:PORT`` — as a persistent daemon that keeps one
+loaded model resident and serves many concurrent clients (see
+:mod:`repro.api.service` and :mod:`repro.api.daemon` for the
+protocol).
 """
 
 from __future__ import annotations
@@ -32,7 +39,17 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import Classifier, ReproConfig, active_profile, serve
+from repro.api import (
+    Classifier,
+    ReproConfig,
+    ScoringDaemon,
+    active_profile,
+    artifact_path,
+    load_or_train,
+    parse_tcp_endpoint,
+    serve,
+)
+from repro.api.daemon import DEFAULT_WORKERS
 from repro.api.registry import (
     available_feature_sets,
     available_model_families,
@@ -78,13 +95,17 @@ def _build_kernel(args):
 
 def _load_or_train(args, profile: str, progress) -> Classifier:
     """The classifier behind ``predict`` / ``serve``: a saved artifact
-    when ``--model`` is given, otherwise a freshly trained default."""
+    when ``--model`` is given, otherwise the artifact cache (which
+    trains a default classifier on a miss and reuses it afterwards)."""
     if args.model:
         return Classifier.load(args.model)
-    print(f"no --model artifact given; training a fresh classifier "
-          f"(profile {profile!r})...", file=sys.stderr)
     config = ReproConfig(profile=profile, jobs=args.jobs)
-    return Classifier(config).train(progress=progress)
+    print(f"no --model artifact given; consulting the artifact cache "
+          f"(profile {profile!r})...", file=sys.stderr)
+    clf, hit = load_or_train(config, progress=progress)
+    print("artifact cache hit" if hit else
+          f"trained and cached {artifact_path(config)}", file=sys.stderr)
+    return clf
 
 
 def main(argv=None) -> int:
@@ -138,6 +159,9 @@ def main(argv=None) -> int:
                        help="training seed (default 0)")
     train.add_argument("--output", "-o", default="model.json",
                        help="artifact path (default model.json)")
+    train.add_argument("--force", action="store_true",
+                       help="retrain even when the artifact cache holds "
+                            "an up-to-date model for this configuration")
     _add_dataset_opts(train)
 
     pred = sub.add_parser(
@@ -150,10 +174,22 @@ def main(argv=None) -> int:
     _add_dataset_opts(pred)
 
     srv = sub.add_parser(
-        "serve", help="JSON-lines scoring service on stdin/stdout")
+        "serve", help="JSON-lines scoring service (stdin/stdout, or a "
+                      "persistent socket daemon with --socket/--tcp)")
     srv.add_argument("--model", default=None,
-                     help="model artifact from 'repro train' (a fresh "
-                          "default model is trained when omitted)")
+                     help="model artifact from 'repro train' (the "
+                          "artifact cache supplies a default when "
+                          "omitted)")
+    transport = srv.add_mutually_exclusive_group()
+    transport.add_argument("--socket", default=None, metavar="PATH",
+                           help="serve as a daemon on a Unix domain "
+                                "socket at PATH")
+    transport.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                           help="serve as a daemon on a TCP endpoint "
+                                "(port 0 binds an ephemeral port)")
+    srv.add_argument("--workers", type=int, default=DEFAULT_WORKERS,
+                     help=f"daemon worker threads / concurrent "
+                          f"connections (default {DEFAULT_WORKERS})")
     _add_dataset_opts(srv)
 
     args = parser.parse_args(argv)
@@ -194,10 +230,12 @@ def main(argv=None) -> int:
         config = ReproConfig(profile=profile, jobs=args.jobs,
                              feature_set=args.features, model=args.model,
                              seed=args.seed)
-        clf = Classifier(config).train(progress=progress)
+        clf, cache_hit = load_or_train(config, force=args.force,
+                                       progress=progress)
         clf.save(args.output)
         info = clf.info()
-        print(f"trained {info['model_family']!r} on "
+        verb = "reused cached artifact:" if cache_hit else "trained"
+        print(f"{verb} {info['model_family']!r} on "
               f"{info['n_training_samples']} samples "
               f"(profile {profile!r}, feature set "
               f"{info['feature_set']!r}, {info['n_features']} features)")
@@ -215,6 +253,24 @@ def main(argv=None) -> int:
 
     if args.command == "serve":
         clf = _load_or_train(args, profile, progress)
+        if args.socket or args.tcp:
+            tcp = parse_tcp_endpoint(args.tcp) if args.tcp else None
+            daemon = ScoringDaemon(clf, socket_path=args.socket, tcp=tcp,
+                                   workers=args.workers)
+            daemon.start()
+            endpoint = ":".join(str(p) for p in daemon.address[1:])
+            print(f"scoring daemon listening on {daemon.address[0]} "
+                  f"{endpoint} ({args.workers} workers); Ctrl-C stops "
+                  f"cleanly", file=sys.stderr)
+            try:
+                daemon.serve_forever()
+            finally:
+                daemon.stop()
+                stats = daemon.stats()
+                print(f"served {stats['requests_served']} request(s) "
+                      f"over {stats['connections_served']} "
+                      f"connection(s)", file=sys.stderr)
+            return 0
         handled = serve(clf)
         print(f"served {handled} request(s)", file=sys.stderr)
         return 0

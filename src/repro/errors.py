@@ -54,3 +54,18 @@ class ConfigError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment cannot be assembled or reproduced."""
+
+
+class DaemonError(ReproError):
+    """Raised when the scoring daemon cannot bind, start or stop."""
+
+
+class ScoringError(ReproError):
+    """Raised by :class:`repro.api.client.ScoringClient` on transport
+    failures or typed error frames from the scoring daemon."""
+
+    def __init__(self, message: str, code: str | None = None,
+                 request_id=None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id

@@ -10,7 +10,7 @@ payloads).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import SimulationError
 

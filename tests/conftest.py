@@ -8,11 +8,13 @@ suite down.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.dataset.build import build_dataset
 from repro.dataset.registry import get_kernel_spec
-from repro.ir import KernelBuilder, Load, Loop, ParallelFor, Store
+from repro.ir import KernelBuilder, Load, Loop, Store
 from repro.ir.expr import var
 from repro.ir.types import DType
 from repro.platform.config import ClusterConfig
@@ -22,6 +24,20 @@ TINY_KERNELS = (
     "bank_hammer", "critical_update", "trisolv", "histogram",
     "compute_dense", "seq_then_par", "jacobi-1d",
 )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the model-artifact cache at a session temp dir, so tests
+    never pollute (or get poisoned by) the developer's .repro_cache."""
+    previous = os.environ.get("REPRO_ARTIFACT_CACHE")
+    os.environ["REPRO_ARTIFACT_CACHE"] = str(
+        tmp_path_factory.mktemp("artifact_cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_ARTIFACT_CACHE", None)
+    else:
+        os.environ["REPRO_ARTIFACT_CACHE"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -96,9 +96,15 @@ class TestRegistries:
             register_feature_set("static-all", names=("op",))
 
     def test_custom_feature_set_plugs_in(self):
+        from repro.api.registry import _FEATURE_RESOLVERS
         register_feature_set("test-just-op", names=("op", "tcdm"),
                              override=True)
-        assert resolve_feature_set("test-just-op") == ["op", "tcdm"]
+        try:
+            assert resolve_feature_set("test-just-op") == ["op", "tcdm"]
+        finally:
+            # the registry is process-global; leaking the entry would
+            # make later tests order-dependent
+            _FEATURE_RESOLVERS.pop("test-just-op", None)
 
     def test_fixed_sets_match_feature_names(self):
         assert resolve_feature_set("static-agg") == \
@@ -235,6 +241,11 @@ class TestArtifacts:
         with pytest.raises(MLError, match="unknown model family"):
             Classifier.load(path)
 
+    def test_future_format_version_raises(self, tiny_dataset, tmp_path):
+        path = self._tampered(tiny_dataset, tmp_path, format_version=99)
+        with pytest.raises(MLError, match="format version"):
+            Classifier.load(path)
+
     def test_wrong_format_raises(self, tmp_path):
         path = str(tmp_path / "model.json")
         with open(path, "w") as handle:
@@ -347,3 +358,49 @@ class TestServe:
         clf = _trained(tiny_dataset)
         response = handle_request(clf, ["not", "an", "object"])
         assert response["ok"] is False
+        assert response["code"] == "bad_request"
+
+    def test_malformed_json_yields_typed_frame_and_loop_survives(
+            self, tiny_dataset):
+        """A line that is not JSON must produce a structured error frame
+        (ok=false + code) and leave the loop serving later lines."""
+        clf = _trained(tiny_dataset)
+        X = tiny_dataset.matrix(clf.feature_names_)
+        requests = "\n".join([
+            '{"rows": [',        # truncated JSON
+            "plain garbage",
+            json.dumps({"rows": X[:2].tolist(), "id": "after"}),
+        ]) + "\n"
+        out = io.StringIO()
+        handled = serve(clf, io.StringIO(requests), out)
+        frames = [json.loads(line)
+                  for line in out.getvalue().splitlines()]
+        assert handled == 3
+        assert [f["ok"] for f in frames] == [False, False, True]
+        assert frames[0]["code"] == "invalid_json"
+        assert frames[1]["code"] == "invalid_json"
+        assert "invalid JSON" in frames[0]["error"]
+        assert frames[2]["id"] == "after"
+
+    def test_missing_feature_keys_yield_typed_frame(self, tiny_dataset):
+        """Rows / feature mappings missing feature keys must produce a
+        structured error frame, not crash the loop."""
+        clf = _trained(tiny_dataset)
+        X = tiny_dataset.matrix(clf.feature_names_)
+        incomplete = {clf.feature_names_[0]: 1.0}
+        requests = "\n".join([
+            json.dumps({"features": incomplete, "id": 1}),
+            json.dumps({"rows": [incomplete], "id": 2}),
+            json.dumps({"rows": [[1.0, 2.0]], "id": 3}),
+            json.dumps({"features": X[0].tolist(), "id": 4}),
+        ]) + "\n"
+        out = io.StringIO()
+        handled = serve(clf, io.StringIO(requests), out)
+        frames = [json.loads(line)
+                  for line in out.getvalue().splitlines()]
+        assert handled == 4
+        assert [f["ok"] for f in frames] == [False, False, False, True]
+        for frame in frames[:3]:
+            assert frame["code"] == "bad_request"
+        assert "missing" in frames[0]["error"]
+        assert [f["id"] for f in frames] == [1, 2, 3, 4]

@@ -11,10 +11,10 @@ from repro.errors import LoweringError
 from repro.ir import Compute, Critical, KernelBuilder, Load, Loop, OpKind, Store
 from repro.ir.expr import var
 from repro.ir.types import DType
-from repro.isa.opcodes import OP_ALU, OP_JMP, OP_LD
+from repro.isa.opcodes import OP_ALU, OP_JMP
 from repro.platform.config import ClusterConfig
 from repro.platform.memory import MemoryMap
-from tests.conftest import make_axpy, make_matmul
+from tests.conftest import make_matmul
 
 
 class TestStaticChunks:

@@ -1,0 +1,385 @@
+"""Tests for the persistent scoring daemon and its wire client."""
+
+import json
+import os
+import socket
+import threading
+from dataclasses import replace as dc_replace
+
+import numpy as np
+import pytest
+
+from repro.api import Classifier, ReproConfig, ScoringClient, ScoringDaemon
+from repro.api import registry as api_registry
+from repro.api.daemon import parse_tcp_endpoint
+from repro.errors import DaemonError, ScoringError
+
+
+@pytest.fixture()
+def trained(tiny_dataset) -> Classifier:
+    config = ReproConfig(profile="unit")
+    return Classifier(config).train(tiny_dataset)
+
+
+@pytest.fixture()
+def unix_path(tmp_path) -> str:
+    return str(tmp_path / "repro.sock")
+
+
+def _raw_exchange(sock_path: str, lines: list) -> list:
+    """Send raw protocol lines over one connection, return the frames."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(10.0)
+    sock.connect(sock_path)
+    with sock, sock.makefile("rw", encoding="utf-8") as stream:
+        responses = []
+        for line in lines:
+            stream.write(line + "\n")
+            stream.flush()
+            responses.append(json.loads(stream.readline()))
+        return responses
+
+
+class TestScoringDaemonUnix:
+    def test_round_trip_matches_local(self, trained, tiny_dataset,
+                                      unix_path):
+        X = tiny_dataset.matrix(trained.feature_names_)
+        with ScoringDaemon(trained, socket_path=unix_path, workers=2):
+            with ScoringClient(socket_path=unix_path) as client:
+                assert client.predict_batch(X) == \
+                    [int(p) for p in trained.predict_batch(X)]
+                mapping = dict(zip(trained.feature_names_, X[0]))
+                assert client.predict(mapping) == trained.predict(X[0])
+                assert client.predict(list(X[1])) == trained.predict(X[1])
+                assert client.predict_kernel("gemm", size=512) in \
+                    range(1, 9)
+                assert client.info()["model_family"] == "tree"
+
+    def test_sixteen_concurrent_clients_byte_identical(
+            self, trained, tiny_dataset, unix_path):
+        """Acceptance: >= 16 concurrent clients, predictions identical
+        to a local Classifier.predict_batch."""
+        X = tiny_dataset.matrix(trained.feature_names_)
+        expected = [int(p) for p in trained.predict_batch(X)]
+        n_clients = 16
+        barrier = threading.Barrier(n_clients)
+        results: list = [None] * n_clients
+        errors: list = []
+
+        def worker(slot: int) -> None:
+            try:
+                with ScoringClient(socket_path=unix_path) as client:
+                    barrier.wait(timeout=30)  # all 16 connected at once
+                    batches = [client.predict_batch(X) for _ in range(3)]
+                    singles = [client.predict(list(row)) for row in X[:4]]
+                    results[slot] = (batches, singles)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        daemon = ScoringDaemon(trained, socket_path=unix_path,
+                               workers=n_clients)
+        with daemon:
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        stats = daemon.stats()  # post-stop: all handlers have drained
+        assert not errors
+        for batches, singles in results:
+            assert batches == [expected] * 3
+            assert singles == expected[:4]
+        assert stats["connections_served"] == n_clients
+        assert stats["requests_served"] == n_clients * (3 + 4)
+
+    def test_model_loaded_once_under_traffic(self, trained, tiny_dataset,
+                                             tmp_path, unix_path,
+                                             monkeypatch):
+        """One daemon lifetime = exactly one artifact load, however many
+        requests and connections it serves."""
+        artifact = str(tmp_path / "model.json")
+        trained.save(artifact)
+        loads = {"n": 0}
+        family = api_registry.model_family("tree")
+
+        def counting_from_payload(payload):
+            loads["n"] += 1
+            return family.from_payload(payload)
+
+        monkeypatch.setitem(
+            api_registry._MODEL_FAMILIES, "tree",
+            dc_replace(family, from_payload=counting_from_payload))
+        clf = Classifier.load(artifact)
+        assert loads["n"] == 1
+        X = tiny_dataset.matrix(clf.feature_names_)
+        with ScoringDaemon(clf, socket_path=unix_path, workers=4):
+            for _ in range(10):
+                with ScoringClient(socket_path=unix_path) as client:
+                    for row in X[:10]:
+                        client.predict(list(row))
+        assert loads["n"] == 1
+
+    def test_error_frames_do_not_kill_the_connection(self, trained,
+                                                     unix_path):
+        n_features = len(trained.feature_names_)
+        with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+            frames = _raw_exchange(unix_path, [
+                "this is not json",
+                json.dumps({"features": {"op": 1.0}, "id": 7}),
+                json.dumps({"rows": [[1.0, 2.0]], "id": 8}),
+                json.dumps({"features": [0.0] * n_features, "id": 9}),
+            ])
+        assert [f["ok"] for f in frames] == [False, False, False, True]
+        assert frames[0]["code"] == "invalid_json"
+        assert frames[1]["code"] == "bad_request"
+        assert frames[1]["id"] == 7
+        assert "missing" in frames[1]["error"]
+        assert frames[2]["code"] == "bad_request"
+        assert frames[3]["id"] == 9
+
+    def test_internal_error_frame_carries_id_and_code(
+            self, trained, unix_path, monkeypatch):
+        """An unexpected server-side exception must answer a typed
+        'internal' frame with the request id — the client surfaces the
+        daemon's code, not a spurious id mismatch — and the serving
+        loop must survive it."""
+        import repro.api.service as service_mod
+
+        real_handle = service_mod.handle_request
+        blow_up = {"armed": True}
+
+        def exploding_handle(classifier, request):
+            if blow_up["armed"]:
+                raise RuntimeError("synthetic server bug")
+            return real_handle(classifier, request)
+
+        monkeypatch.setattr(service_mod, "handle_request",
+                            exploding_handle)
+        with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+            with ScoringClient(socket_path=unix_path) as client:
+                with pytest.raises(ScoringError,
+                                   match="synthetic") as excinfo:
+                    client.info()
+                assert excinfo.value.code == "internal"
+                blow_up["armed"] = False
+                # same connection keeps serving after the internal error
+                assert client.info()["model_family"] == "tree"
+
+    def test_workers_bound_concurrent_service(self, trained, unix_path):
+        """With workers=1 a second client genuinely waits in the listen
+        backlog until the first connection closes (the documented
+        backpressure model)."""
+        with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+            first = ScoringClient(socket_path=unix_path)
+            assert first.info()["model_family"] == "tree"
+            second = ScoringClient(socket_path=unix_path)
+            answered = threading.Event()
+
+            def blocked_request() -> None:
+                second.request({"cmd": "info"})
+                answered.set()
+
+            thread = threading.Thread(target=blocked_request)
+            thread.start()
+            # the only worker is pinned to the first connection
+            assert not answered.wait(timeout=0.4)
+            first.close()  # frees the slot; second is now served
+            assert answered.wait(timeout=10)
+            thread.join(timeout=10)
+            second.close()
+
+    def test_clean_shutdown(self, trained, unix_path):
+        daemon = ScoringDaemon(trained, socket_path=unix_path, workers=2)
+        daemon.start()
+        assert daemon.is_running
+        client = ScoringClient(socket_path=unix_path)
+        assert client.info()["model_family"] == "tree"
+        daemon.stop()
+        assert not daemon.is_running
+        assert not os.path.exists(unix_path)
+        with pytest.raises(ScoringError):
+            client.request({"cmd": "info"})
+        client.close()
+        daemon.stop()  # idempotent
+
+    def test_restart_after_stop(self, trained, unix_path):
+        daemon = ScoringDaemon(trained, socket_path=unix_path, workers=1)
+        daemon.start()
+        daemon.stop()
+        daemon.start()
+        try:
+            with ScoringClient(socket_path=unix_path) as client:
+                assert client.info()["n_features"] == \
+                    len(trained.feature_names_)
+        finally:
+            daemon.stop()
+
+    def test_stale_socket_file_is_reclaimed(self, trained, unix_path):
+        stale = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        stale.bind(unix_path)
+        stale.close()  # leaves the filesystem entry behind
+        assert os.path.exists(unix_path)
+        with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+            with ScoringClient(socket_path=unix_path) as client:
+                assert client.info()["model_family"] == "tree"
+
+    def test_live_socket_is_not_stolen(self, trained, unix_path):
+        with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+            second = ScoringDaemon(trained, socket_path=unix_path,
+                                   workers=1)
+            with pytest.raises(DaemonError, match="live"):
+                second.start()
+
+    def test_non_socket_path_is_refused(self, trained, tmp_path):
+        path = tmp_path / "model.json"
+        path.write_text("{}")
+        daemon = ScoringDaemon(trained, socket_path=str(path), workers=1)
+        with pytest.raises(DaemonError, match="not a socket"):
+            daemon.start()
+        assert path.exists()  # the innocent file survives
+
+
+class TestScoringDaemonTcp:
+    def test_ephemeral_port_round_trip(self, trained, tiny_dataset):
+        X = tiny_dataset.matrix(trained.feature_names_)
+        daemon = ScoringDaemon(trained, tcp=("127.0.0.1", 0), workers=2)
+        with daemon:
+            kind, host, port = daemon.address
+            assert kind == "tcp" and port > 0
+            with ScoringClient(tcp=(host, port)) as client:
+                assert client.predict_batch(X) == \
+                    [int(p) for p in trained.predict_batch(X)]
+
+    def test_parse_tcp_endpoint(self):
+        assert parse_tcp_endpoint("127.0.0.1:7878") == ("127.0.0.1", 7878)
+        assert parse_tcp_endpoint("localhost:0") == ("localhost", 0)
+        with pytest.raises(DaemonError):
+            parse_tcp_endpoint("no-port")
+        with pytest.raises(DaemonError):
+            parse_tcp_endpoint("host:notaport")
+        with pytest.raises(DaemonError):
+            parse_tcp_endpoint(":7878")
+
+
+class TestDaemonValidation:
+    def test_requires_exactly_one_transport(self, trained):
+        with pytest.raises(DaemonError, match="exactly one"):
+            ScoringDaemon(trained)
+        with pytest.raises(DaemonError, match="exactly one"):
+            ScoringDaemon(trained, socket_path="/tmp/x",
+                          tcp=("127.0.0.1", 0))
+
+    def test_requires_fitted_classifier(self, unix_path):
+        with pytest.raises(DaemonError, match="not fitted"):
+            ScoringDaemon(Classifier(), socket_path=unix_path)
+
+    def test_requires_positive_workers(self, trained, unix_path):
+        with pytest.raises(DaemonError, match="workers"):
+            ScoringDaemon(trained, socket_path=unix_path, workers=0)
+
+    def test_cli_rejects_socket_and_tcp_together(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["serve", "--socket", "/tmp/x", "--tcp", "h:1"])
+
+
+class TestScoringClient:
+    def _fake_server(self, unix_path, reply_lines):
+        """A one-connection server replying with canned lines."""
+        listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        listener.bind(unix_path)
+        listener.listen(1)
+
+        def run():
+            conn, _ = listener.accept()
+            with conn:
+                conn.makefile("r").readline()  # swallow the request
+                for line in reply_lines:
+                    conn.sendall((line + "\n").encode())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return listener
+
+    def test_requires_exactly_one_endpoint(self):
+        with pytest.raises(ScoringError, match="exactly one"):
+            ScoringClient()
+
+    def test_unreachable_endpoint(self, tmp_path):
+        with pytest.raises(ScoringError, match="cannot connect"):
+            ScoringClient(socket_path=str(tmp_path / "nowhere.sock"))
+
+    def test_id_mismatch_raises(self, unix_path):
+        listener = self._fake_server(
+            unix_path, [json.dumps({"ok": True, "id": 999})])
+        try:
+            client = ScoringClient(socket_path=unix_path)
+            with pytest.raises(ScoringError,
+                               match="desynchronized") as excinfo:
+                client.request({"cmd": "info"})
+            assert excinfo.value.code == "id_mismatch"
+            client.close()
+        finally:
+            listener.close()
+
+    def test_eof_raises_transport_error(self, unix_path):
+        listener = self._fake_server(unix_path, [])
+        try:
+            client = ScoringClient(socket_path=unix_path)
+            with pytest.raises(ScoringError) as excinfo:
+                client.request({"cmd": "info"})
+            assert excinfo.value.code == "transport"
+            client.close()
+        finally:
+            listener.close()
+
+    def test_undecodable_frame_raises(self, unix_path):
+        listener = self._fake_server(unix_path, ["not json at all"])
+        try:
+            client = ScoringClient(socket_path=unix_path)
+            with pytest.raises(ScoringError, match="undecodable"):
+                client.request({"cmd": "info"})
+            client.close()
+        finally:
+            listener.close()
+
+    def test_typed_error_carries_daemon_code(self, trained, unix_path):
+        with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+            with ScoringClient(socket_path=unix_path) as client:
+                with pytest.raises(ScoringError) as excinfo:
+                    client.predict({"op": 1.0})
+                assert excinfo.value.code == "bad_request"
+                assert excinfo.value.request_id == 0
+                # the connection survives the error
+                assert client.info()["model_family"] == "tree"
+
+    def test_closed_client_raises(self, trained, unix_path):
+        with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+            client = ScoringClient(socket_path=unix_path)
+            client.close()
+            client.close()  # idempotent
+            with pytest.raises(ScoringError, match="closed"):
+                client.request({"cmd": "info"})
+
+
+class TestSmokeScript:
+    def test_daemon_smoke_main(self, capsys):
+        from scripts.daemon_smoke import main as smoke_main
+        assert smoke_main(["--rows", "24", "--clients", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "daemon smoke OK" in out
+
+
+def test_predictions_byte_identical_to_predict_batch_json(
+        trained, tiny_dataset, tmp_path):
+    """The wire responses round-trip through JSON byte-identically to a
+    local predict_batch (ints, not floats or numpy scalars)."""
+    X = tiny_dataset.matrix(trained.feature_names_)
+    local = json.dumps([int(p) for p in trained.predict_batch(X)])
+    unix_path = str(tmp_path / "repro.sock")
+    with ScoringDaemon(trained, socket_path=unix_path, workers=1):
+        frames = _raw_exchange(
+            unix_path, [json.dumps({"rows": X.tolist()})])
+    assert json.dumps(frames[0]["predictions"]) == local
+    assert np.asarray(frames[0]["predictions"]).dtype.kind == "i"

@@ -7,7 +7,7 @@ from repro.energy.accounting import compute_energy
 from repro.energy.model import EnergyModel
 from repro.errors import IRError
 from repro.ir import KernelBuilder, Load, Store
-from repro.ir.nodes import DmaCopy, ParallelFor, Sequential
+from repro.ir.nodes import DmaCopy
 from repro.ir.expr import var
 from repro.ir.types import DType
 from repro.isa.encoding import format_instr, parse_instr

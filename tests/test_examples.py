@@ -4,6 +4,7 @@ import sys
 
 import pytest
 
+import examples.daemon_scoring as daemon_scoring
 import examples.energy_exploration as energy_exploration
 import examples.quickstart as quickstart
 import examples.trace_inspection as trace_inspection
@@ -26,6 +27,12 @@ class TestExamples:
         trace_inspection.main()
         out = capsys.readouterr().out
         assert "match the engine exactly" in out
+
+    def test_daemon_scoring(self, capsys):
+        daemon_scoring.main()
+        out = capsys.readouterr().out
+        assert "predicted min-energy cores" in out
+        assert "daemon stopped cleanly" in out
 
     @pytest.mark.slow
     def test_classify_unseen_kernel(self, capsys, monkeypatch):

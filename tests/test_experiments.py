@@ -1,6 +1,5 @@
 """Experiment driver tests on the tiny (real) dataset."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ExperimentError

@@ -8,7 +8,6 @@ from repro.errors import FeatureError
 from repro.features.mca import (
     DISPATCH_WIDTH,
     MCA_FEATURES,
-    N_PORTS,
     _waterfill,
     analyse_mix,
     extract_mca,

@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.errors import FeatureError
 from repro.features import extract_agg, extract_raw
 from repro.features.static_agg import agg_from_raw
 from repro.features.static_counts import StaticCounts, summarize_kernel
-from repro.ir import Compute, KernelBuilder, Load, Loop, OpKind, ParallelFor, Store
+from repro.ir import KernelBuilder, Load, Loop, ParallelFor
 from repro.ir.expr import var
 from repro.ir.types import DType
 from repro.sim.engine import simulate

@@ -12,7 +12,6 @@ global invariants:
 * energy accounting accepts the counters and is strictly positive.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -20,7 +19,7 @@ from repro.energy.accounting import compute_energy
 from repro.energy.model import EnergyModel
 from repro.ir import KernelBuilder, Load, Loop, Store
 from repro.ir.nodes import Compute, Critical, DmaCopy, OpKind
-from repro.ir.expr import Affine, var
+from repro.ir.expr import Affine
 from repro.ir.types import DType
 from repro.sim.engine import simulate
 from repro.trace import TraceWriter

@@ -14,7 +14,6 @@ from repro.ir import (
     ParallelFor,
     Sequential,
     SequentialFor,
-    Store,
     validate_kernel,
 )
 from repro.ir.expr import var

@@ -13,7 +13,7 @@ from repro.dataset.custom import CUSTOM_KERNELS
 from repro.dataset.registry import all_kernel_specs, get_kernel_spec
 from repro.features.static_counts import summarize_kernel
 from repro.features.static_raw import extract_raw
-from repro.ir.nodes import Critical, Loop, ParallelFor, SequentialFor, walk_body
+from repro.ir.nodes import Critical, SequentialFor, walk_body
 from repro.ir.types import DType
 from repro.ir.validate import validate_kernel
 

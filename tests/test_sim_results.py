@@ -1,6 +1,5 @@
 """Tests for the sweep/result layer."""
 
-import pytest
 
 from repro.energy.model import EnergyModel
 from repro.ir.types import DType
