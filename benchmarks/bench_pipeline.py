@@ -8,10 +8,14 @@ per-row loops vs the vectorized implementations, (c) the
 single-prediction latency for the tree and forest families — and
 (d) the persistent scoring daemon: round-trip latency and rows/sec
 over a Unix socket at 1/4/16 concurrent clients plus one-connection
-batched throughput — then writes the numbers to
-``BENCH_pipeline.json`` so later PRs can track the trajectory.  With
-``--skip-build`` the previous file's ``cold_build`` section is carried
-over instead of dropped.
+batched throughput, and (e) the multi-model fleet daemon
+(:mod:`repro.api.fleet`): the same single-row levels against the
+event-loop transport with adaptive micro-batching, a two-model mixed
+level, and the speedup over the unbatched daemon measured in the same
+run (each level best-of-``LEVEL_REPEATS``) — then writes the numbers
+to ``BENCH_pipeline.json`` so later PRs
+can track the trajectory.  With ``--skip-build`` the previous file's
+``cold_build`` section is carried over instead of dropped.
 
 Run from the repo root as a single command::
 
@@ -144,6 +148,11 @@ def bench_model_io(loads: int = 20, predictions: int = 500) -> dict:
     return results
 
 
+#: measurement repeats per concurrency level; the best run is recorded
+#: (the box is shared, so single runs swing with neighbour load).
+LEVEL_REPEATS = 2
+
+
 def bench_daemon(concurrencies=(1, 4, 16), requests_per_client: int = 200,
                  batch_rows: int = 10_000) -> dict:
     """Daemon round-trip latency and throughput under concurrency.
@@ -152,8 +161,9 @@ def bench_daemon(concurrencies=(1, 4, 16), requests_per_client: int = 200,
     loaded exactly once), then for each concurrency level runs N client
     threads each sending *requests_per_client* single-row requests over
     its own :class:`repro.api.ScoringClient` connection.  Records the
-    round-trip latency distribution and aggregate rows/sec, plus the
-    one-connection batched throughput at *batch_rows* rows.
+    round-trip latency distribution and aggregate rows/sec (best of
+    :data:`LEVEL_REPEATS` runs), plus the one-connection batched
+    throughput at *batch_rows* rows.
     """
     import threading
 
@@ -186,7 +196,7 @@ def bench_daemon(concurrencies=(1, 4, 16), requests_per_client: int = 200,
                 for row in rows[:4]:
                     client.predict(row)
 
-            for n_clients in concurrencies:
+            def run_level(n_clients: int) -> dict:
                 latencies: list = []
                 lock = threading.Lock()
 
@@ -211,7 +221,7 @@ def bench_daemon(concurrencies=(1, 4, 16), requests_per_client: int = 200,
                 wall = time.perf_counter() - wall_start
                 lat_us = np.sort(np.asarray(latencies)) * 1e6
                 total = n_clients * requests_per_client
-                results["levels"].append({
+                return {
                     "clients": n_clients,
                     "requests": total,
                     "round_trip_us_p50": round(
@@ -219,7 +229,13 @@ def bench_daemon(concurrencies=(1, 4, 16), requests_per_client: int = 200,
                     "round_trip_us_p99": round(
                         float(np.percentile(lat_us, 99)), 1),
                     "rows_per_sec": round(total / wall, 1),
-                })
+                }
+
+            for n_clients in concurrencies:
+                results["levels"].append(max(
+                    (run_level(n_clients)
+                     for _ in range(LEVEL_REPEATS)),
+                    key=lambda level: level["rows_per_sec"]))
 
             # batched: one connection, one request, many rows
             reps = max(1, -(-batch_rows // len(rows)))
@@ -238,6 +254,206 @@ def bench_daemon(concurrencies=(1, 4, 16), requests_per_client: int = 200,
                 "seconds": round(batch_s, 4),
                 "rows_per_sec": round(len(big) / batch_s, 1),
             }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return results
+
+
+def bench_fleet(concurrencies=(1, 4, 16), requests_per_client: int = 200,
+                batch_rows: int = 10_000) -> dict:
+    """Fleet-daemon throughput: micro-batched single rows, two models.
+
+    Serves a ``tree:static-all`` default plus a ``forest:static-agg``
+    variant from one event-loop fleet daemon and measures (a) per-level
+    single-row round trips against the default model at 1/4/16
+    concurrent clients, (b) a mixed level routing half the clients to
+    the forest via the ``model`` field, (c) one-connection batched
+    throughput, and (d) the headline acceptance number: an
+    **interleaved paired comparison** against an unbatched thread-pool
+    daemon serving the same model at max concurrency — alternating
+    measurement rounds against both daemons in the same time window,
+    so the recorded speedup is robust to the load drift of a shared
+    box.  Every wire prediction is asserted byte-identical to the
+    matching local ``predict_batch``.
+    """
+    import threading
+
+    from repro.api import (
+        Classifier,
+        MicroBatcher,
+        ModelFleet,
+        ModelPool,
+        ReproConfig,
+        ScoringClient,
+        ScoringDaemon,
+    )
+    from repro.dataset.registry import get_kernel_spec
+    from repro.errors import FleetError
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_fleet_")
+    forest_spec = "forest:static-agg:unit"
+    results: dict = {"transport": "unix",
+                     "requests_per_client": requests_per_client,
+                     "levels": []}
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        tree = Classifier(ReproConfig(profile="unit")).train(dataset)
+        forest = Classifier(ReproConfig(
+            profile="unit", model="forest",
+            model_params={"n_estimators": 10},
+            feature_set="static-agg")).train(dataset)
+
+        def loader(key):
+            if key.spec == forest_spec:
+                return forest
+            raise FleetError(f"unexpected lazy load of {key.spec!r}")
+
+        pool = ModelPool(loader=loader, default_tag="unit")
+        pool.add(forest, key=forest_spec)
+        fleet = ModelFleet(pool, MicroBatcher(max_batch=64,
+                                              max_delay_us=1000),
+                           default=tree)
+
+        rows_of = {}
+        expected = {}
+        for spec, clf in ((None, tree), (forest_spec, forest)):
+            X = dataset.matrix(clf.feature_names_)
+            rows_of[spec] = [list(map(float, row)) for row in X]
+            expected[spec] = [int(p) for p in clf.predict_batch(X)]
+
+        socket_path = os.path.join(workdir, "fleet.sock")
+        daemon = ScoringDaemon(fleet=fleet, socket_path=socket_path,
+                               workers=8)
+
+        def hammer(n_clients, model_of_slot, path=None) -> tuple:
+            """N single-row clients; returns (rows/sec, p50us, p99us)."""
+            endpoint = path if path is not None else socket_path
+            latencies: list = []
+            errors: list = []
+            lock = threading.Lock()
+
+            def worker(slot: int) -> None:
+                spec = model_of_slot(slot)
+                rows, want = rows_of[spec], expected[spec]
+                local: list = []
+                try:
+                    with ScoringClient(socket_path=endpoint) as client:
+                        for i in range(requests_per_client):
+                            row = rows[i % len(rows)]
+                            start = time.perf_counter()
+                            got = client.predict(row, model=spec)
+                            local.append(time.perf_counter() - start)
+                            if got != want[i % len(want)]:
+                                raise AssertionError(
+                                    f"wire prediction diverged ({spec})")
+                except Exception as exc:
+                    with lock:
+                        errors.append(exc)
+                    return
+                with lock:
+                    latencies.extend(local)
+
+            threads = [threading.Thread(target=worker, args=(slot,))
+                       for slot in range(n_clients)]
+            wall_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - wall_start
+            if errors:
+                # a diverged prediction or transport failure must fail
+                # the benchmark loudly, not inflate its numbers
+                raise errors[0]
+            lat_us = np.sort(np.asarray(latencies)) * 1e6
+            total = n_clients * requests_per_client
+            return (round(total / wall, 1),
+                    round(float(np.percentile(lat_us, 50)), 1),
+                    round(float(np.percentile(lat_us, 99)), 1))
+
+        with daemon:
+            with ScoringClient(socket_path=socket_path) as client:
+                for row in rows_of[None][:4]:
+                    client.predict(row)  # warm-up
+
+            for n_clients in concurrencies:
+                rps, p50, p99 = max(
+                    (hammer(n_clients, lambda slot: None)
+                     for _ in range(LEVEL_REPEATS)),
+                    key=lambda run: run[0])
+                results["levels"].append({
+                    "clients": n_clients,
+                    "requests": n_clients * requests_per_client,
+                    "round_trip_us_p50": p50,
+                    "round_trip_us_p99": p99,
+                    "rows_per_sec": rps,
+                })
+
+            mixed = max(concurrencies)
+            rps, p50, p99 = max(
+                (hammer(mixed, lambda slot: None if slot % 2 == 0
+                        else forest_spec)
+                 for _ in range(LEVEL_REPEATS)),
+                key=lambda run: run[0])
+            results["two_models"] = {
+                "clients": mixed,
+                "round_trip_us_p50": p50,
+                "round_trip_us_p99": p99,
+                "rows_per_sec": rps,
+            }
+
+            rows = rows_of[None]
+            reps = max(1, -(-batch_rows // len(rows)))
+            big = (rows * reps)[:batch_rows]
+            with ScoringClient(socket_path=socket_path) as client:
+                client.predict_batch(big[:64])  # warm-up
+                start = time.perf_counter()
+                preds = client.predict_batch(big)
+                batch_s = time.perf_counter() - start
+            if preds != [int(p) for p in tree.predict_batch(
+                    np.asarray(big))]:
+                raise AssertionError("fleet batch predictions diverge "
+                                     "from the local classifier")
+            results["batched"] = {
+                "rows": len(big),
+                "seconds": round(batch_s, 4),
+                "rows_per_sec": round(len(big) / batch_s, 1),
+            }
+
+            # -- the acceptance number: paired, interleaved ------------
+            plain_path = os.path.join(workdir, "plain.sock")
+            plain = ScoringDaemon(tree, socket_path=plain_path,
+                                  workers=max(concurrencies))
+            mixed = max(concurrencies)
+            with plain:
+                default_model = lambda slot: None  # noqa: E731
+                hammer(mixed, default_model, plain_path)  # warm-up
+                rounds = 5
+                unbatched_runs, fleet_runs = [], []
+                for _ in range(rounds):
+                    unbatched_runs.append(
+                        hammer(mixed, default_model, plain_path)[0])
+                    fleet_runs.append(
+                        hammer(mixed, default_model, socket_path)[0])
+                unbatched = sorted(unbatched_runs)[rounds // 2]
+                batched_rps = sorted(fleet_runs)[rounds // 2]  # medians
+                results["paired_single_row"] = {
+                    "clients": mixed,
+                    "unbatched_rows_per_sec": unbatched,
+                    "fleet_rows_per_sec": batched_rps,
+                    "speedup": round(batched_rps / unbatched, 2),
+                    "rounds": rounds,
+                }
+        loop_stats = daemon.stats().get("loop", {})
+        results["coalescing"] = {
+            "mean_fast_batch": loop_stats.get("mean_fast_batch"),
+            "largest_fast_batch": loop_stats.get("largest_fast_batch"),
+            "max_batch": loop_stats.get("max_batch"),
+        }
+        fleet.close()
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
     return results
@@ -319,6 +535,39 @@ def main(argv=None) -> int:
     batched = results["daemon"]["batched"]
     print(f"  batched   : {batched['rows']} rows in "
           f"{batched['seconds']} s ({batched['rows_per_sec']} rows/s)")
+
+    print("fleet daemon (event loop + micro-batching, 2 models) ...",
+          flush=True)
+    results["fleet"] = bench_fleet(
+        requests_per_client=args.daemon_requests)
+    for level in results["fleet"]["levels"]:
+        print(f"  {level['clients']:>2} client(s): "
+              f"p50 {level['round_trip_us_p50']} us, "
+              f"p99 {level['round_trip_us_p99']} us, "
+              f"{level['rows_per_sec']} rows/s")
+    two = results["fleet"]["two_models"]
+    print(f"  2-model mix ({two['clients']} clients): "
+          f"{two['rows_per_sec']} rows/s")
+    fbatched = results["fleet"]["batched"]
+    print(f"  batched   : {fbatched['rows']} rows in "
+          f"{fbatched['seconds']} s ({fbatched['rows_per_sec']} rows/s)")
+    # per-level ratios against the (minutes-earlier) daemon section are
+    # indicative; the headline acceptance number is the interleaved
+    # paired comparison bench_fleet measured in one time window
+    speedups = {}
+    for fleet_level, daemon_level in zip(results["fleet"]["levels"],
+                                         results["daemon"]["levels"]):
+        assert fleet_level["clients"] == daemon_level["clients"]
+        speedups[str(fleet_level["clients"])] = round(
+            fleet_level["rows_per_sec"] / daemon_level["rows_per_sec"],
+            2)
+    results["fleet"]["speedup_vs_unbatched_daemon"] = speedups
+    print(f"  speedup vs unbatched daemon (cross-section): {speedups}")
+    paired = results["fleet"]["paired_single_row"]
+    print(f"  paired @{paired['clients']} clients (interleaved): "
+          f"unbatched {paired['unbatched_rows_per_sec']} rows/s, "
+          f"fleet {paired['fleet_rows_per_sec']} rows/s "
+          f"-> {paired['speedup']}x")
 
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)

@@ -1,12 +1,17 @@
-"""CI smoke test for the persistent scoring daemon.
+"""CI smoke test for the persistent scoring daemon — fleet edition.
 
-Trains a small classifier (four kernels, unit profile, throwaway
-caches), starts a :class:`repro.api.ScoringDaemon` on a Unix socket,
+Trains **two** distinct model/feature-set variants (a ``tree`` on
+``static-all`` and a ``forest`` on ``static-agg``; four kernels, unit
+profile, throwaway caches), serves both from one
+:class:`repro.api.ScoringDaemon` in fleet mode (micro-batching on),
 pushes ``--rows`` feature rows through ``--clients`` concurrent
-:class:`repro.api.ScoringClient` connections, asserts the wire
-predictions are byte-identical to a local ``predict_batch``, and
-checks the daemon shuts down cleanly (socket unlinked, counters
-consistent).  Exit code 0 means the deployment path works end to end.
+:class:`repro.api.ScoringClient` connections — odd clients routing to
+the forest via the ``model`` request field, even clients hitting the
+pinned default — and asserts every wire prediction is byte-identical
+to the matching local ``predict_batch``.  Also exercises the admin
+verbs (``list_models`` / ``load_model`` / ``evict_model``) and checks
+clean shutdown (socket unlinked, counters consistent).  Exit code 0
+means the fleet deployment path works end to end.
 
 Run from the repo root::
 
@@ -30,6 +35,9 @@ sys.path.insert(
 import numpy as np  # noqa: E402
 
 from repro.api import (  # noqa: E402
+    MicroBatcher,
+    ModelFleet,
+    ModelPool,
     ReproConfig,
     ScoringClient,
     ScoringDaemon,
@@ -37,8 +45,10 @@ from repro.api import (  # noqa: E402
 )
 from repro.dataset.build import build_dataset  # noqa: E402
 from repro.dataset.registry import get_kernel_spec  # noqa: E402
+from repro.errors import FleetError  # noqa: E402
 
 SMOKE_KERNELS = ("gemm", "atax", "fir", "stream_triad")
+FOREST_SPEC = "forest:static-agg:unit"
 
 
 def main(argv=None) -> int:
@@ -46,6 +56,7 @@ def main(argv=None) -> int:
     parser.add_argument("--rows", type=int, default=100)
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--max-batch", type=int, default=16)
     args = parser.parse_args(argv)
 
     workdir = tempfile.mkdtemp(prefix="daemon_smoke_")
@@ -56,36 +67,79 @@ def main(argv=None) -> int:
             specs=specs,
             cache_dir=os.path.join(workdir, "sim_cache"),
         )
-        classifier, cache_hit = load_or_train(
+        model_dir = os.path.join(workdir, "models")
+        tree, cache_hit = load_or_train(
             ReproConfig(profile="unit"),
             dataset=dataset,
-            cache_dir=os.path.join(workdir, "models"),
+            cache_dir=model_dir,
         )
         assert not cache_hit, "fresh cache dir cannot hit"
+        forest, _ = load_or_train(
+            ReproConfig(
+                profile="unit",
+                model="forest",
+                model_params={"n_estimators": 10},
+                feature_set="static-agg",
+            ),
+            dataset=dataset,
+            cache_dir=model_dir,
+        )
 
-        base = dataset.matrix(classifier.feature_names_)
-        reps = -(-args.rows // len(base))  # ceil division
-        rows = np.tile(base, (reps, 1))[: args.rows]
-        expected = [int(p) for p in classifier.predict_batch(rows)]
+        variants = {None: tree, FOREST_SPEC: forest}
+        rows_of: dict = {}
+        expected: dict = {}
+        for spec, clf in variants.items():
+            base = dataset.matrix(clf.feature_names_)
+            reps = -(-args.rows // len(base))  # ceil division
+            rows_of[spec] = np.tile(base, (reps, 1))[: args.rows]
+            expected[spec] = [int(p) for p in clf.predict_batch(rows_of[spec])]
+
+        def loader(key):
+            # the forest stays servable after an evict (transparent
+            # reload); anything else is a smoke-test bug
+            if key.spec == FOREST_SPEC:
+                return forest
+            raise FleetError(f"unexpected lazy load of {key.spec!r}")
+
+        pool = ModelPool(loader=loader, default_tag="unit")
+        pool.add(forest, key=FOREST_SPEC)
+        fleet = ModelFleet(
+            pool,
+            MicroBatcher(max_batch=args.max_batch, max_delay_us=1000),
+            default=tree,
+        )
 
         socket_path = os.path.join(workdir, "repro.sock")
-        shards = [rows[i :: args.clients].tolist() for i in range(args.clients)]
         results: list = [None] * args.clients
         errors: list = []
 
         def worker(slot: int) -> None:
+            spec = None if slot % 2 == 0 else FOREST_SPEC
+            shard = rows_of[spec][slot :: args.clients]
             try:
                 with ScoringClient(socket_path=socket_path) as client:
-                    results[slot] = client.predict_batch(shards[slot])
+                    batch = client.predict_batch(shard, model=spec)
+                    singles = [
+                        client.predict(list(row), model=spec) for row in shard
+                    ]
+                    results[slot] = (spec, batch, singles)
             except Exception as exc:  # surfaced below as a failure
                 errors.append(exc)
 
         daemon = ScoringDaemon(
-            classifier,
+            fleet=fleet,
             socket_path=socket_path,
             workers=args.workers,
         )
         with daemon:
+            with ScoringClient(socket_path=socket_path) as admin:
+                listing = admin.list_models()
+                assert len(listing["models"]) == 2, listing
+                # evict + warm reload round trip over the wire
+                assert admin.evict_model(FOREST_SPEC) is True
+                assert admin.load_model(FOREST_SPEC) == FOREST_SPEC
+                assert len(admin.list_models()["models"]) == 2
+
             threads = [
                 threading.Thread(target=worker, args=(slot,))
                 for slot in range(args.clients)
@@ -97,21 +151,26 @@ def main(argv=None) -> int:
         # post-stop read: stop() drains the pool, so every connection
         # handler has finished its bookkeeping by now
         stats = daemon.stats()
+        fleet.close()
 
         if errors:
             raise errors[0]
         scored = 0
         for slot in range(args.clients):
-            want = [int(p) for p in expected[slot :: args.clients]]
-            assert results[slot] == want, f"client {slot} diverged"
-            scored += len(results[slot])
-        assert scored == args.rows
-        assert stats["connections_served"] == args.clients
+            spec, batch, singles = results[slot]
+            want = [int(p) for p in expected[spec][slot :: args.clients]]
+            assert batch == want, f"client {slot} batch diverged ({spec})"
+            assert singles == want, f"client {slot} singles diverged ({spec})"
+            scored += len(batch) + len(singles)
+        assert stats["connections_served"] == args.clients + 1
         assert not os.path.exists(socket_path), "socket not unlinked"
+        loop_stats = stats.get("loop", {})
 
         print(
-            f"daemon smoke OK: {scored} rows across {args.clients} "
-            f"clients, {stats['requests_served']} requests, "
+            f"daemon smoke OK: {scored} predictions across "
+            f"{args.clients} clients and 2 models, "
+            f"{stats['requests_served']} requests, "
+            f"mean coalesced batch {loop_stats.get('mean_fast_batch')}, "
             f"clean shutdown"
         )
         return 0

@@ -30,6 +30,7 @@ from repro.api.artifact_cache import (
     artifact_key,
     artifact_path,
     dataset_tag,
+    load_cached,
     load_or_train,
 )
 from repro.api.classifier import (
@@ -45,6 +46,12 @@ from repro.api.daemon import (
     DEFAULT_WORKERS,
     ScoringDaemon,
     parse_tcp_endpoint,
+)
+from repro.api.fleet import (
+    MicroBatcher,
+    ModelFleet,
+    ModelKey,
+    ModelPool,
 )
 from repro.api.config import (
     DEFAULT_TOLERANCES,
@@ -86,7 +93,12 @@ __all__ = [
     "artifact_key",
     "artifact_path",
     "dataset_tag",
+    "load_cached",
     "load_or_train",
+    "MicroBatcher",
+    "ModelFleet",
+    "ModelKey",
+    "ModelPool",
     "ScoringClient",
     "ScoringDaemon",
     "DEFAULT_WORKERS",

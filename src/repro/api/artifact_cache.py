@@ -86,6 +86,29 @@ def artifact_path(
     return os.path.join(artifact_cache_dir(cache_dir), name)
 
 
+def load_cached(
+    config: ReproConfig | None = None,
+    dataset=None,
+    cache_dir: str | None = None,
+) -> Classifier | None:
+    """The cached classifier for *config*, or ``None`` on a miss.
+
+    The load-only half of :func:`load_or_train`: stale or corrupt
+    artifacts count as misses, and nothing is ever trained.  The
+    serving fleet (:mod:`repro.api.fleet`) uses this for cold model
+    keys, where a request must not silently kick off a training
+    campaign.
+    """
+    config = config or ReproConfig()
+    path = artifact_path(config, dataset, cache_dir)
+    if not os.path.exists(path):
+        return None
+    try:
+        return Classifier.load(path)
+    except MLError:
+        return None  # stale or corrupt artifact
+
+
 def load_or_train(
     config: ReproConfig | None = None,
     dataset=None,
@@ -101,12 +124,11 @@ def load_or_train(
     is saved back to the cache.
     """
     config = config or ReproConfig()
+    if not force:
+        cached = load_cached(config, dataset, cache_dir)
+        if cached is not None:
+            return cached, True
     path = artifact_path(config, dataset, cache_dir)
-    if not force and os.path.exists(path):
-        try:
-            return Classifier.load(path), True
-        except MLError:
-            pass  # stale or corrupt artifact: fall through and retrain
     classifier = Classifier(config).train(dataset, progress=progress)
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     classifier.save(path)

@@ -9,6 +9,13 @@ against it, so a desynchronized stream surfaces as a loud
 answers.  Typed error frames from the daemon raise
 :class:`ScoringError` with the frame's machine-readable ``code``.
 
+A daemon restart mid-session (``ConnectionResetError`` /
+``BrokenPipeError`` / EOF before a response) is retried once on a
+fresh connection by default (``reconnect_retries``); requests are
+idempotent reads, so the retry is safe, and a daemon that stays down
+surfaces as one clean ``ScoringError(code="transport")`` — never a raw
+``OSError``.
+
 Usage::
 
     with ScoringClient(socket_path="/tmp/repro.sock") as client:
@@ -16,6 +23,12 @@ Usage::
         client.predict_kernel("gemm", size=512)  # registry kernel
         client.predict_batch(rows)               # (n, n_features) rows
         client.info()                            # loaded-model summary
+
+Against a fleet daemon (see :mod:`repro.api.fleet`) every scoring verb
+accepts ``model="family:feature_set[:dataset_tag]"`` to pick the
+serving model per request, and the admin verbs
+:meth:`ScoringClient.list_models` / :meth:`ScoringClient.load_model` /
+:meth:`ScoringClient.evict_model` manage the resident set.
 """
 
 from __future__ import annotations
@@ -38,6 +51,9 @@ class ScoringClient:
     Exactly one endpoint must be given: ``socket_path`` (Unix domain
     socket) or ``tcp`` (a ``(host, port)`` pair).  The connection opens
     eagerly so a bad endpoint fails at construction, not first use.
+    ``reconnect_retries`` bounds how many fresh connections a single
+    request may try after the daemon drops the current one (0 disables
+    reconnection).
     """
 
     def __init__(
@@ -45,6 +61,7 @@ class ScoringClient:
         socket_path: str | None = None,
         tcp: tuple | None = None,
         timeout: float = 30.0,
+        reconnect_retries: int = 1,
     ) -> None:
         if (socket_path is None) == (tcp is None):
             raise ScoringError(
@@ -52,14 +69,31 @@ class ScoringClient:
                 "tcp=(host, port)",
                 code=ERROR_TRANSPORT,
             )
-        if socket_path is not None:
+        if reconnect_retries < 0:
+            raise ScoringError(
+                f"reconnect_retries must be >= 0, got {reconnect_retries}",
+                code=ERROR_TRANSPORT,
+            )
+        self._socket_path = socket_path
+        self._tcp = tuple(tcp) if tcp is not None else None
+        self._timeout = timeout
+        self._reconnect_retries = reconnect_retries
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        self._rbuf = bytearray()
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        """Open one connection to the configured endpoint."""
+        if self._socket_path is not None:
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            endpoint: object = socket_path
+            endpoint: object = self._socket_path
         else:
-            host, port = tcp
+            host, port = self._tcp
             sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             endpoint = (host, int(port))
-        sock.settimeout(timeout)
+        sock.settimeout(self._timeout)
         try:
             sock.connect(endpoint)
         except OSError as exc:
@@ -68,11 +102,33 @@ class ScoringClient:
                 f"cannot connect to scoring daemon at {endpoint!r}: {exc}",
                 code=ERROR_TRANSPORT,
             )
-        self._sock = sock
-        self._reader = sock.makefile("r", encoding="utf-8")
-        self._lock = threading.Lock()
-        self._next_id = 0
-        self._closed = False
+        self._rbuf.clear()
+        return sock
+
+    def _recv_line(self) -> bytes:
+        """One newline-terminated response frame; ``b""`` on EOF.
+
+        A hand-rolled buffer instead of ``makefile().readline()`` —
+        the buffered-text layer costs real microseconds on the
+        daemon's hot single-row path.
+        """
+        while True:
+            idx = self._rbuf.find(b"\n")
+            if idx >= 0:
+                line = bytes(self._rbuf[:idx + 1])
+                del self._rbuf[:idx + 1]
+                return line
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return b""
+            self._rbuf += chunk
+
+    def _teardown_connection(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self._rbuf.clear()
 
     # -- plumbing ----------------------------------------------------------
 
@@ -82,7 +138,9 @@ class ScoringClient:
         Returns the decoded success frame.  Raises
         :class:`ScoringError` on typed error frames (carrying the
         daemon's ``code``), on response-id mismatches and on transport
-        failures.
+        failures.  A dropped connection (reset, broken pipe, EOF
+        before any response byte) is transparently retried on a fresh
+        connection up to ``reconnect_retries`` times.
         """
         with self._lock:
             if self._closed:
@@ -91,22 +149,44 @@ class ScoringClient:
             self._next_id += 1
             frame = dict(payload)
             frame["id"] = req_id
-            try:
-                self._sock.sendall((json.dumps(frame) + "\n").encode("utf-8"))
-                line = self._reader.readline()
-            except OSError as exc:
-                raise ScoringError(
-                    f"transport failure talking to the daemon: {exc}",
-                    code=ERROR_TRANSPORT,
-                    request_id=req_id,
-                )
-            if not line:
-                raise ScoringError(
-                    "connection closed by the daemon before a response "
-                    "arrived",
-                    code=ERROR_TRANSPORT,
-                    request_id=req_id,
-                )
+            wire = (json.dumps(frame) + "\n").encode("utf-8")
+            line = None
+            for attempt in range(self._reconnect_retries + 1):
+                try:
+                    self._sock.sendall(wire)
+                    line = self._recv_line()
+                except (ConnectionResetError, BrokenPipeError) as exc:
+                    # the daemon went away mid-request (restart?): one
+                    # clean retry on a fresh connection, then give up
+                    self._teardown_connection()
+                    if attempt >= self._reconnect_retries:
+                        raise ScoringError(
+                            f"connection to the daemon was dropped "
+                            f"({exc}) and was not recovered after "
+                            f"{attempt + 1} attempt(s)",
+                            code=ERROR_TRANSPORT,
+                            request_id=req_id,
+                        )
+                    self._sock = self._connect()
+                    continue
+                except OSError as exc:
+                    raise ScoringError(
+                        f"transport failure talking to the daemon: {exc}",
+                        code=ERROR_TRANSPORT,
+                        request_id=req_id,
+                    )
+                if line:
+                    break
+                # EOF before a response: same story as a reset
+                self._teardown_connection()
+                if attempt >= self._reconnect_retries:
+                    raise ScoringError(
+                        "connection closed by the daemon before a "
+                        "response arrived",
+                        code=ERROR_TRANSPORT,
+                        request_id=req_id,
+                    )
+                self._sock = self._connect()
             try:
                 response = json.loads(line)
             except json.JSONDecodeError as exc:
@@ -145,37 +225,75 @@ class ScoringClient:
             )
         return response
 
+    @staticmethod
+    def _with_model(payload: dict, model: str | None) -> dict:
+        if model is not None:
+            payload["model"] = str(model)
+        return payload
+
     # -- scoring verbs -----------------------------------------------------
 
-    def predict(self, features) -> int:
+    def predict(self, features, model: str | None = None) -> int:
         """Score one feature mapping or feature vector."""
         if hasattr(features, "keys"):
             payload = {"features": {k: float(v) for k, v in features.items()}}
+        elif type(features) is list and all(
+            type(v) is float for v in features
+        ):
+            payload = {"features": features}  # already JSON-ready
         else:
             payload = {"features": [float(v) for v in features]}
-        return int(self.request(payload)["prediction"])
+        response = self.request(self._with_model(payload, model))
+        return int(response["prediction"])
 
     def predict_kernel(
         self,
         name: str,
         dtype: str = "int32",
         size: int = 2048,
+        model: str | None = None,
     ) -> int:
         """Score a registry kernel built server-side."""
-        response = self.request({"kernel": name, "dtype": dtype, "size": size})
+        payload = {"kernel": name, "dtype": dtype, "size": size}
+        response = self.request(self._with_model(payload, model))
         return int(response["prediction"])
 
-    def predict_batch(self, rows) -> list:
+    def predict_batch(self, rows, model: str | None = None) -> list:
         """Score many pre-assembled feature vectors in one round trip."""
         if hasattr(rows, "tolist"):
             rows = rows.tolist()
         encoded = [[float(v) for v in row] for row in rows]
-        response = self.request({"rows": encoded})
-        return [int(p) for p in response["predictions"]]
+        payload = self._with_model({"rows": encoded}, model)
+        return [int(p) for p in self.request(payload)["predictions"]]
 
-    def info(self) -> dict:
+    def info(self, model: str | None = None) -> dict:
         """The daemon's loaded-model summary (family, features, versions)."""
-        return dict(self.request({"cmd": "info"})["info"])
+        payload = self._with_model({"cmd": "info"}, model)
+        return dict(self.request(payload)["info"])
+
+    # -- fleet admin verbs -------------------------------------------------
+
+    def list_models(self) -> dict:
+        """The fleet's resident set: ``{"models": [...], "stats": {...}}``.
+
+        Requires a fleet daemon; a single-model daemon answers
+        ``bad_request`` (raised as :class:`ScoringError`).
+        """
+        response = self.request({"cmd": "list_models"})
+        return {
+            "models": list(response["models"]),
+            "stats": dict(response.get("stats", {})),
+        }
+
+    def load_model(self, model: str) -> str:
+        """Warm-load one model key into the fleet; returns the full spec."""
+        response = self.request({"cmd": "load_model", "model": str(model)})
+        return str(response["model"])
+
+    def evict_model(self, model: str) -> bool:
+        """Evict one model key; ``False`` when it was not resident."""
+        response = self.request({"cmd": "evict_model", "model": str(model)})
+        return bool(response["evicted"])
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -185,14 +303,7 @@ class ScoringClient:
             if self._closed:
                 return
             self._closed = True
-            try:
-                self._reader.close()
-            except OSError:
-                pass
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+            self._teardown_connection()
 
     def __enter__(self) -> "ScoringClient":
         return self

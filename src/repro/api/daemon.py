@@ -16,6 +16,22 @@ Typical embedding::
         ...  # clients connect via repro.api.client.ScoringClient
 
 or from the shell: ``repro serve --socket /tmp/repro.sock --workers 8``.
+
+**Fleet mode** swaps the single resident classifier for a
+:class:`repro.api.fleet.ModelFleet` — many resident models routed by
+the request's ``"model"`` field::
+
+    daemon = ScoringDaemon(fleet=fleet, socket_path="/tmp/repro.sock")
+
+Fleet connections are served by a single-threaded event loop
+(:class:`repro.api.fleet.eventloop.FleetEventLoop`) instead of the
+thread pool: each select round coalesces concurrent single-row
+requests into per-model ``predict_batch`` calls (bounded by the
+fleet batcher's ``max_batch``), while kernel simulation, explicit
+batches, admin verbs and cold-model loads run on a small worker pool
+sized by ``workers``.  Requests without a ``"model"`` field hit the
+fleet's pinned default model, so pre-fleet clients see identical
+behaviour.
 """
 
 from __future__ import annotations
@@ -72,30 +88,39 @@ class ScoringDaemon:
 
     def __init__(
         self,
-        classifier: Classifier,
+        classifier: Classifier | None = None,
         socket_path: str | None = None,
         tcp: tuple | None = None,
         workers: int = DEFAULT_WORKERS,
         backlog: int = 128,
+        fleet=None,
     ) -> None:
+        if (classifier is None) == (fleet is None):
+            raise DaemonError(
+                "configure exactly one scorer: classifier=Classifier or "
+                "fleet=ModelFleet"
+            )
         if (socket_path is None) == (tcp is None):
             raise DaemonError(
                 "configure exactly one transport: socket_path=PATH or "
                 "tcp=(host, port)"
             )
-        if not classifier.is_fitted:
+        if classifier is not None and not classifier.is_fitted:
             raise DaemonError(
                 "classifier is not fitted; train or load a model before "
                 "serving it"
             )
         if workers < 1:
             raise DaemonError(f"workers must be >= 1, got {workers}")
+        self.fleet = fleet
         self.classifier = classifier
         self.socket_path = socket_path
         self.tcp = tuple(tcp) if tcp is not None else None
         self.workers = workers
         self.backlog = backlog
         self._listener: socket.socket | None = None
+        self._loop = None  # FleetEventLoop in fleet mode
+        self._last_loop_stats: dict | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._acceptor: threading.Thread | None = None
         self._stopping = threading.Event()
@@ -150,13 +175,25 @@ class ScoringDaemon:
                 listener.close()
                 raise DaemonError(f"cannot bind tcp {host}:{port}: {exc}")
         listener.listen(self.backlog)
+        self._stopping.clear()
+        self._stopped.clear()
+        self._listener = listener
+        if self.fleet is not None:
+            # fleet mode serves from a single-threaded event loop (one
+            # IO thread, adaptive request coalescing, a small worker
+            # pool for slow verbs) — see repro.api.fleet.eventloop
+            from repro.api.fleet.eventloop import FleetEventLoop
+
+            batcher = getattr(self.fleet, "batcher", None)
+            max_batch = batcher.max_batch if batcher is not None else 1
+            self._loop = FleetEventLoop(
+                self.fleet, listener, workers=self.workers, max_batch=max_batch
+            ).start()
+            return self
         # a bounded accept timeout guarantees the acceptor re-checks the
         # stop flag even on platforms where closing a listener does not
         # wake a blocked accept()
         listener.settimeout(0.5)
-        self._stopping.clear()
-        self._stopped.clear()
-        self._listener = listener
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers,
             thread_name_prefix="repro-score",
@@ -179,6 +216,9 @@ class ScoringDaemon:
         if self._listener is None:
             return
         self._stopping.set()
+        if self._loop is not None:
+            self._loop.stop(timeout)  # closes its accepted connections
+            self._last_loop_stats = self._loop.stats()
         try:
             # shutdown() (unlike close()) wakes a blocked accept() on
             # Linux; the accept timeout covers platforms where it won't
@@ -189,6 +229,7 @@ class ScoringDaemon:
             self._listener.close()
         except OSError:
             pass
+        self._loop = None
         if self._acceptor is not None:
             self._acceptor.join(timeout)
             self._acceptor = None
@@ -235,13 +276,30 @@ class ScoringDaemon:
 
     def stats(self) -> dict:
         """Lifetime counters (requests, connections, live connections)."""
-        with self._lock:
-            return {
-                "requests_served": self._requests_served,
-                "connections_served": self._connections_served,
-                "active_connections": len(self._connections),
+        if self._last_loop_stats is not None or self._loop is not None:
+            loop_stats = (
+                self._loop.stats()
+                if self._loop is not None
+                else self._last_loop_stats
+            )
+            stats = {
+                "requests_served": loop_stats["requests_served"],
+                "connections_served": loop_stats["connections_served"],
+                "active_connections": loop_stats["active_connections"],
                 "workers": self.workers,
+                "loop": loop_stats,
             }
+        else:
+            with self._lock:
+                stats = {
+                    "requests_served": self._requests_served,
+                    "connections_served": self._connections_served,
+                    "active_connections": len(self._connections),
+                    "workers": self.workers,
+                }
+        if self.fleet is not None:
+            stats["fleet"] = self.fleet.stats()
+        return stats
 
     def _accept_loop(self) -> None:
         # a semaphore slot per worker: accept only when a worker can

@@ -1,0 +1,212 @@
+"""The fleet router: one protocol endpoint, many resident models.
+
+:class:`ModelFleet` is the layer between the JSON-lines protocol and
+the classifiers.  It extends every scoring request with an optional
+``"model"`` field naming a :class:`repro.api.fleet.ModelKey` spec
+(``family:feature_set[:dataset_tag]``); requests that omit the field
+are served by the pool's pinned default model, so pre-fleet clients
+keep working unchanged.  Three admin verbs manage the pool over the
+wire::
+
+    {"cmd": "list_models"}                     -> resident set + stats
+    {"cmd": "load_model",  "model": "<spec>"}  -> warm-load one key
+    {"cmd": "evict_model", "model": "<spec>"}  -> drop one key
+
+A request naming a key the pool cannot serve answers a typed
+``unknown_model`` error frame; a malformed key spec answers
+``bad_request``.  When a :class:`~repro.api.fleet.MicroBatcher` is
+attached, concurrent single-row ``{"features": ...}`` requests are
+coalesced into ``predict_batch`` calls — the async entry point
+(:meth:`ModelFleet.process_line_async`) completes them from the
+scheduler thread via a callback, which is how the daemon serves them
+with a single thread wake-up per request.
+"""
+
+from __future__ import annotations
+
+from repro.api.classifier import Classifier
+from repro.api.fleet.batching import MicroBatcher
+from repro.api.fleet.pool import ModelKey, ModelPool
+from repro.api.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_UNKNOWN_MODEL,
+    decode_request,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    request_id,
+)
+from repro.api.service import handle_request as single_model_handle
+from repro.api.service import process_request_line
+from repro.errors import FleetError, ReproError
+
+
+class ModelFleet:
+    """Route protocol requests across a :class:`ModelPool`.
+
+    ``default`` (a fitted classifier) is admitted pinned as the pool's
+    default model; *batcher* enables micro-batching for single-row
+    feature requests.  The fleet plugs into
+    :class:`repro.api.daemon.ScoringDaemon` via its ``fleet=`` argument
+    and into stdio serving via :func:`repro.api.service.serve`.
+    """
+
+    def __init__(self, pool: ModelPool | None = None,
+                 batcher: MicroBatcher | None = None,
+                 default: Classifier | None = None,
+                 default_key: ModelKey | str | None = None) -> None:
+        self.pool = pool if pool is not None else ModelPool()
+        self.batcher = batcher
+        if default is not None:
+            self.pool.add(default, key=default_key, default=True)
+
+    # -- request routing ---------------------------------------------------
+
+    @property
+    def default_classifier(self) -> Classifier | None:
+        """The pinned default model (``None`` for an all-explicit fleet)."""
+        if self.pool.default_key is None:
+            return None
+        return self.pool.get(self.pool.default_key)
+
+    def _resolve(self, request) -> Classifier:
+        """The classifier behind a request's ``"model"`` field.
+
+        Malformed specs raise plain :class:`ReproError` (answered as
+        ``bad_request``); keys the pool cannot serve raise
+        :class:`FleetError` (answered as ``unknown_model``).
+        """
+        spec = request.get("model")
+        if spec is not None:
+            spec = self._parse_key(spec)
+        return self.pool.get(spec)
+
+    def _parse_key(self, spec) -> ModelKey:
+        try:
+            return self.pool.resolve_key(spec)
+        except FleetError as exc:
+            raise ReproError(str(exc))  # malformed spec -> bad_request
+
+    def _batchable(self, request) -> bool:
+        return (self.batcher is not None and self.batcher.is_running
+                and "features" in request and "rows" not in request
+                and "kernel" not in request and request.get("cmd") is None)
+
+    def handle_request(self, request) -> dict:
+        """One decoded request to one response frame (synchronous)."""
+        req_id = request_id(request)
+        try:
+            if not isinstance(request, dict):
+                raise ReproError("request must be a JSON object")
+            admin = self._handle_admin(request, req_id)
+            if admin is not None:
+                return admin
+            classifier = self._resolve(request)
+            if request.get("cmd") == "info":
+                return ok_frame({"info": classifier.info()}, req_id)
+            if self._batchable(request):
+                vector = classifier._vectorize(request["features"])
+                try:
+                    prediction = self.batcher.predict(classifier, vector)
+                except FleetError as exc:
+                    # overload/timeout/shutdown of the scheduler is a
+                    # server condition, not an unknown model
+                    return error_frame(ERROR_INTERNAL,
+                                       f"micro-batching unavailable: "
+                                       f"{exc}", req_id)
+                return ok_frame({"prediction": prediction}, req_id)
+            return single_model_handle(classifier, request)
+        except FleetError as exc:
+            return error_frame(ERROR_UNKNOWN_MODEL, str(exc), req_id)
+        except (ReproError, TypeError, ValueError) as exc:
+            return error_frame(ERROR_BAD_REQUEST, str(exc), req_id)
+
+    def _handle_admin(self, request, req_id) -> dict | None:
+        """The fleet admin verbs; ``None`` when the request is not one."""
+        cmd = request.get("cmd")
+        if cmd == "list_models":
+            return ok_frame({"models": self.pool.entries(),
+                             "stats": self.stats()}, req_id)
+        if cmd == "load_model":
+            key = self._parse_key(self._required_model(request))
+            self.pool.get(key)
+            return ok_frame({"model": key.spec, "loaded": True}, req_id)
+        if cmd == "evict_model":
+            key = self._parse_key(self._required_model(request))
+            try:
+                evicted = self.pool.evict(key)
+            except FleetError as exc:
+                # the key is known, just protected -> bad_request
+                raise ReproError(str(exc))
+            return ok_frame({"model": key.spec, "evicted": evicted},
+                            req_id)
+        return None
+
+    @staticmethod
+    def _required_model(request) -> str:
+        spec = request.get("model")
+        if spec is None:
+            raise ReproError(
+                f"cmd={request.get('cmd')!r} requires a 'model' key "
+                f"('family:feature_set[:dataset_tag]')")
+        return spec
+
+    # -- protocol turns ----------------------------------------------------
+
+    def process_line(self, line: str) -> str | None:
+        """Synchronous protocol turn (stdio serving, tests)."""
+        return process_request_line(line, self.handle_request)
+
+    def process_line_async(self, line: str, respond) -> None:
+        """Protocol turn with deferred completion (the daemon path).
+
+        *respond(frame_str)* is called exactly once per answerable line
+        — inline for everything except micro-batched single-row
+        requests, which complete from the batch scheduler thread.
+        """
+        request, decode_error = decode_request(line)
+        if decode_error is not None:
+            respond(encode_frame(decode_error))
+            return
+        if request is None:
+            return
+        req_id = request_id(request)
+        if isinstance(request, dict) and self._batchable(request):
+            try:
+                classifier = self._resolve(request)
+                vector = classifier._vectorize(request["features"])
+            except Exception:
+                pass  # fall through to the synchronous path's answer
+            else:
+                def on_done(prediction, error) -> None:
+                    if error is None:
+                        frame = ok_frame({"prediction": prediction},
+                                         req_id)
+                    else:
+                        frame = error_frame(ERROR_INTERNAL,
+                                            f"internal error: {error}",
+                                            req_id)
+                    respond(encode_frame(frame))
+
+                try:
+                    self.batcher.submit(classifier, vector, on_done)
+                    return
+                except FleetError:
+                    pass  # batcher closed/overloaded: serve unbatched
+        response = process_request_line(line, self.handle_request)
+        if response is not None:
+            respond(response)
+
+    # -- lifecycle / introspection -----------------------------------------
+
+    def close(self) -> None:
+        """Flush and stop the micro-batcher (the pool needs no teardown)."""
+        if self.batcher is not None:
+            self.batcher.close()
+
+    def stats(self) -> dict:
+        stats = {"pool": self.pool.stats()}
+        if self.batcher is not None:
+            stats["batching"] = self.batcher.stats()
+        return stats

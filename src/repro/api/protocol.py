@@ -27,8 +27,25 @@ ERROR_INVALID_JSON = "invalid_json"
 ERROR_BAD_REQUEST = "bad_request"
 #: the server hit an unexpected condition; the connection survives.
 ERROR_INTERNAL = "internal"
+#: the request named a model key the serving fleet does not know and
+#: cannot load (see :mod:`repro.api.fleet`).
+ERROR_UNKNOWN_MODEL = "unknown_model"
+#: the request line exceeded :data:`MAX_REQUEST_BYTES`.
+ERROR_TOO_LARGE = "too_large"
 
-ERROR_CODES = (ERROR_INVALID_JSON, ERROR_BAD_REQUEST, ERROR_INTERNAL)
+ERROR_CODES = (
+    ERROR_INVALID_JSON,
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_UNKNOWN_MODEL,
+    ERROR_TOO_LARGE,
+)
+
+#: upper bound on one request line (16 MiB — a ~40k-row batch of the
+#: paper's 24-feature vectors fits comfortably).  Decoding refuses
+#: longer lines with a typed ``too_large`` frame instead of burning CPU
+#: JSON-parsing unbounded input.
+MAX_REQUEST_BYTES = 16 * 1024 * 1024
 
 
 def request_id(request) -> object | None:
@@ -55,13 +72,25 @@ def error_frame(code: str, message: str, req_id=None) -> dict:
     return frame
 
 
-def decode_request(line: str):
+def decode_request(line: str, max_bytes: int = MAX_REQUEST_BYTES):
     """Decode one request line.
 
     Returns ``(request, None)`` on success and ``(None, error_frame)``
-    when the line is not valid JSON; blank lines decode to
-    ``(None, None)`` and should be skipped by the caller.
+    when the line is not valid JSON or longer than *max_bytes*; blank
+    lines decode to ``(None, None)`` and should be skipped by the
+    caller.
     """
+    # len() counts characters; UTF-8 spends up to 4 bytes each, so the
+    # cheap check is only a pre-filter and the encode runs just for
+    # lines that could actually be over the byte limit
+    if max_bytes and len(line) > max_bytes // 4:
+        n_bytes = len(line.encode("utf-8", errors="replace"))
+        if n_bytes > max_bytes:
+            return None, error_frame(
+                ERROR_TOO_LARGE,
+                f"request line is {n_bytes} bytes; the protocol "
+                f"accepts at most {max_bytes}",
+            )
     line = line.strip()
     if not line:
         return None, None

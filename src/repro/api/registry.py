@@ -18,6 +18,7 @@ New entries plug in via :func:`register_model_family` /
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Callable
 
@@ -73,6 +74,19 @@ def model_family(name: str) -> ModelFamily:
 
 def available_model_families() -> list[str]:
     return sorted(_MODEL_FAMILIES)
+
+
+def model_payload_bytes(family_name: str, model) -> int:
+    """Approximate resident size of a fitted model, in bytes.
+
+    Measured as the JSON payload length of the family's artifact codec
+    — the same representation the artifact cache stores — so the
+    serving fleet's memory budget (see
+    :class:`repro.api.fleet.ModelPool`) accounts trees and forests on
+    one consistent scale without a numpy-internals walk.
+    """
+    payload = model_family(family_name).to_payload(model)
+    return len(json.dumps(payload, separators=(",", ":")))
 
 
 register_model_family(ModelFamily(

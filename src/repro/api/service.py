@@ -78,12 +78,16 @@ def handle_request(classifier: Classifier, request) -> dict:
         return error_frame(ERROR_BAD_REQUEST, str(exc), req_id)
 
 
-def process_line(classifier: Classifier, line: str) -> str | None:
-    """One protocol turn: request line in, encoded response frame out.
+def process_request_line(line: str, handle) -> str | None:
+    """The transport-agnostic protocol shell around a request handler.
 
-    Blank lines yield ``None`` (nothing to answer); malformed JSON and
-    unservable requests yield encoded error frames.  This is the shared
-    core of the stdio loop below and of every daemon worker thread.
+    Decodes one line, dispatches the decoded request to *handle*
+    (a ``request -> response-frame`` callable) and encodes the result.
+    Blank lines yield ``None`` (nothing to answer); malformed JSON,
+    oversized lines and unexpected handler exceptions yield encoded
+    typed error frames.  Both the single-model path
+    (:func:`process_line`) and the multi-model fleet router
+    (:class:`repro.api.fleet.ModelFleet`) are thin wrappers over this.
     """
     request, decode_error = decode_request(line)
     if decode_error is not None:
@@ -91,7 +95,7 @@ def process_line(classifier: Classifier, line: str) -> str | None:
     if request is None:
         return None
     try:
-        return encode_frame(handle_request(classifier, request))
+        return encode_frame(handle(request))
     except Exception as exc:
         # unexpected server-side condition (including responses that
         # fail to JSON-encode): answer a typed internal frame carrying
@@ -101,13 +105,34 @@ def process_line(classifier: Classifier, line: str) -> str | None:
                                         request_id(request)))
 
 
-def serve(classifier: Classifier, stdin=None, stdout=None) -> int:
-    """Serve JSON-lines requests until EOF; returns requests handled."""
+def process_line(classifier: Classifier, line: str) -> str | None:
+    """One protocol turn: request line in, encoded response frame out.
+
+    Blank lines yield ``None`` (nothing to answer); malformed JSON and
+    unservable requests yield encoded error frames.  This is the shared
+    core of the stdio loop below and of every daemon worker thread.
+    """
+    return process_request_line(
+        line, lambda request: handle_request(classifier, request))
+
+
+def serve(scorer, stdin=None, stdout=None) -> int:
+    """Serve JSON-lines requests until EOF; returns requests handled.
+
+    *scorer* is a fitted :class:`Classifier`, or any object exposing a
+    ``process_line(line) -> str | None`` method (duck-typed so the
+    multi-model :class:`repro.api.fleet.ModelFleet` plugs in without an
+    import cycle).
+    """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
+    if hasattr(scorer, "process_line"):
+        process = scorer.process_line
+    else:
+        process = lambda line: process_line(scorer, line)  # noqa: E731
     handled = 0
     for line in stdin:
-        response = process_line(classifier, line)
+        response = process(line)
         if response is None:
             continue
         stdout.write(response)

@@ -16,6 +16,9 @@ Examples::
     repro serve --model model.json < requests.jsonl
     repro serve --model model.json --socket /tmp/repro.sock --workers 8
     repro serve --model model.json --tcp 127.0.0.1:7878
+    repro serve --socket /tmp/repro.sock \\
+        --models forest:static-all,tree:static-agg --preload \\
+        --max-batch 64 --max-delay-us 2000 --memory-budget-mb 64
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) runs the labelling campaign on N
 worker processes; ``--jobs 0`` uses every CPU.  The on-disk simulation
@@ -28,10 +31,15 @@ writes a JSON artifact (skipping the fit entirely when the artifact
 cache already holds an up-to-date model — ``--force`` overrides),
 ``predict`` scores a kernel against it, and ``serve`` answers
 JSON-lines scoring requests on stdin/stdout, or — with ``--socket
-PATH`` / ``--tcp HOST:PORT`` — as a persistent daemon that keeps one
-loaded model resident and serves many concurrent clients (see
-:mod:`repro.api.service` and :mod:`repro.api.daemon` for the
-protocol).
+PATH`` / ``--tcp HOST:PORT`` — as a persistent daemon serving many
+concurrent clients (see :mod:`repro.api.service` and
+:mod:`repro.api.daemon` for the protocol).  The daemon is a **model
+fleet** (:mod:`repro.api.fleet`): requests pick a resident model with
+a ``"model"`` key, ``--models``/``--preload`` warm-load extra variants
+at startup, ``--memory-budget-mb``/``--max-models`` bound the resident
+set with LRU eviction, and ``--max-batch``/``--max-delay-us`` tune the
+micro-batching that coalesces concurrent single-row requests into
+batched predictions.
 """
 
 from __future__ import annotations
@@ -41,6 +49,9 @@ import sys
 
 from repro.api import (
     Classifier,
+    MicroBatcher,
+    ModelFleet,
+    ModelPool,
     ReproConfig,
     ScoringDaemon,
     active_profile,
@@ -50,6 +61,11 @@ from repro.api import (
     serve,
 )
 from repro.api.daemon import DEFAULT_WORKERS
+from repro.api.fleet import (
+    DEFAULT_MAX_BATCH,
+    DEFAULT_MAX_DELAY_US,
+    cache_loader,
+)
 from repro.api.registry import (
     available_feature_sets,
     available_model_families,
@@ -96,16 +112,37 @@ def _build_kernel(args):
 def _load_or_train(args, profile: str, progress) -> Classifier:
     """The classifier behind ``predict`` / ``serve``: a saved artifact
     when ``--model`` is given, otherwise the artifact cache (which
-    trains a default classifier on a miss and reuses it afterwards)."""
+    trains the configured variant on a miss and reuses it afterwards).
+
+    ``--family`` / ``--features`` select which cached variant serves
+    the warm path, so any model the cache already holds is reused
+    without retraining — the ROADMAP's warm pre-loading for
+    ``predict``."""
     if args.model:
         return Classifier.load(args.model)
-    config = ReproConfig(profile=profile, jobs=args.jobs)
+    config = ReproConfig(profile=profile, jobs=args.jobs,
+                         model=getattr(args, "family", "tree"),
+                         feature_set=getattr(args, "features",
+                                             "static-all"))
     print(f"no --model artifact given; consulting the artifact cache "
-          f"(profile {profile!r})...", file=sys.stderr)
+          f"(profile {profile!r}, {config.model}:"
+          f"{config.feature_set})...", file=sys.stderr)
     clf, hit = load_or_train(config, progress=progress)
     print("artifact cache hit" if hit else
           f"trained and cached {artifact_path(config)}", file=sys.stderr)
     return clf
+
+
+def _add_variant_opts(parser: argparse.ArgumentParser) -> None:
+    """Default-model variant selection for ``predict`` / ``serve``."""
+    parser.add_argument("--family", default="tree",
+                        help="model family for the default model when "
+                             "no --model artifact is given: "
+                             + ", ".join(available_model_families()))
+    parser.add_argument("--features", default="static-all",
+                        help="feature set for the default model when "
+                             "no --model artifact is given: "
+                             + ", ".join(available_feature_sets()))
 
 
 def main(argv=None) -> int:
@@ -169,8 +206,10 @@ def main(argv=None) -> int:
                         "kernel")
     _add_kernel_args(pred)
     pred.add_argument("--model", default=None,
-                      help="model artifact from 'repro train' (a fresh "
-                           "default model is trained when omitted)")
+                      help="model artifact from 'repro train' (the "
+                           "artifact cache supplies a warm default "
+                           "when omitted)")
+    _add_variant_opts(pred)
     _add_dataset_opts(pred)
 
     srv = sub.add_parser(
@@ -190,6 +229,36 @@ def main(argv=None) -> int:
     srv.add_argument("--workers", type=int, default=DEFAULT_WORKERS,
                      help=f"daemon worker threads / concurrent "
                           f"connections (default {DEFAULT_WORKERS})")
+    _add_variant_opts(srv)
+    srv.add_argument("--models", default=None, metavar="SPEC[,SPEC...]",
+                     help="extra model keys to serve, as "
+                          "family:feature_set[:dataset_tag] specs; "
+                          "warm pre-loaded from the artifact cache at "
+                          "startup")
+    srv.add_argument("--preload", action="store_true",
+                     help="train-and-cache any --models key whose "
+                          "artifact is missing instead of refusing to "
+                          "start (also lets cold lazy loads train)")
+    srv.add_argument("--max-batch", type=int, default=DEFAULT_MAX_BATCH,
+                     help=f"micro-batching: most single-row requests "
+                          f"coalesced into one predict_batch call "
+                          f"(default {DEFAULT_MAX_BATCH}; 0 disables "
+                          f"batching; daemon mode only)")
+    srv.add_argument("--max-delay-us", type=int,
+                     default=DEFAULT_MAX_DELAY_US,
+                     help=f"longest wait for followers after a batch "
+                          f"opens in the threaded MicroBatcher, which "
+                          f"serves cold-model rows; the daemon's "
+                          f"event loop coalesces resident-model rows "
+                          f"adaptively without a timed wait (default "
+                          f"{DEFAULT_MAX_DELAY_US})")
+    srv.add_argument("--memory-budget-mb", type=float, default=None,
+                     help="evict least-recently-used unpinned models "
+                          "once the resident set exceeds this many MiB "
+                          "(default: unbounded)")
+    srv.add_argument("--max-models", type=int, default=None,
+                     help="evict least-recently-used unpinned models "
+                          "beyond this count (default: unbounded)")
     _add_dataset_opts(srv)
 
     args = parser.parse_args(argv)
@@ -253,25 +322,48 @@ def main(argv=None) -> int:
 
     if args.command == "serve":
         clf = _load_or_train(args, profile, progress)
-        if args.socket or args.tcp:
+        daemon_mode = bool(args.socket or args.tcp)
+        budget = (int(args.memory_budget_mb * 1024 * 1024)
+                  if args.memory_budget_mb else None)
+        pool = ModelPool(loader=cache_loader(train_on_miss=args.preload),
+                         memory_budget_bytes=budget,
+                         max_models=args.max_models,
+                         default_tag=profile)
+        batcher = None
+        if daemon_mode and args.max_batch > 0:
+            batcher = MicroBatcher(max_batch=args.max_batch,
+                                   max_delay_us=args.max_delay_us)
+        fleet = ModelFleet(pool, batcher, default=clf)
+        if args.models:
+            specs = [s for s in args.models.split(",") if s.strip()]
+            for key in pool.preload(specs):
+                print(f"pre-loaded model {key.spec}", file=sys.stderr)
+        if daemon_mode:
             tcp = parse_tcp_endpoint(args.tcp) if args.tcp else None
-            daemon = ScoringDaemon(clf, socket_path=args.socket, tcp=tcp,
-                                   workers=args.workers)
+            daemon = ScoringDaemon(fleet=fleet, socket_path=args.socket,
+                                   tcp=tcp, workers=args.workers)
             daemon.start()
             endpoint = ":".join(str(p) for p in daemon.address[1:])
+            batching = (f"adaptive micro-batching <= {args.max_batch} "
+                        f"rows" if batcher else "micro-batching off")
             print(f"scoring daemon listening on {daemon.address[0]} "
-                  f"{endpoint} ({args.workers} workers); Ctrl-C stops "
+                  f"{endpoint} ({args.workers} workers, {len(pool)} "
+                  f"resident model(s), {batching}); Ctrl-C stops "
                   f"cleanly", file=sys.stderr)
             try:
                 daemon.serve_forever()
             finally:
                 daemon.stop()
+                fleet.close()
                 stats = daemon.stats()
                 print(f"served {stats['requests_served']} request(s) "
                       f"over {stats['connections_served']} "
                       f"connection(s)", file=sys.stderr)
             return 0
-        handled = serve(clf)
+        try:
+            handled = serve(fleet)
+        finally:
+            fleet.close()
         print(f"served {handled} request(s)", file=sys.stderr)
         return 0
 

@@ -60,6 +60,12 @@ class DaemonError(ReproError):
     """Raised when the scoring daemon cannot bind, start or stop."""
 
 
+class FleetError(ReproError):
+    """Raised by the multi-model serving fleet (:mod:`repro.api.fleet`):
+    unparseable model keys, unloadable artifacts, misconfigured pools or
+    a micro-batch scheduler used after shutdown."""
+
+
 class ScoringError(ReproError):
     """Raised by :class:`repro.api.client.ScoringClient` on transport
     failures or typed error frames from the scoring daemon."""

@@ -93,3 +93,64 @@ class TestCliApi:
         response = json.loads(out.strip().splitlines()[0])
         assert response["ok"] is True
         assert response["prediction"] in range(1, 9)
+
+    def test_predict_warm_path_hits_artifact_cache(
+            self, tmp_path, monkeypatch, tiny_dataset, capsys):
+        """The ROADMAP's warm pre-loading: a repeated default-model
+        predict must load the cached artifact, not train again."""
+        monkeypatch.setattr("repro.api.classifier.build_dataset",
+                            lambda *args, **kwargs: tiny_dataset)
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE",
+                           str(tmp_path / "cache"))
+        from repro.api import Classifier
+        trains = {"n": 0}
+        real_train = Classifier.train
+
+        def counting_train(self, *args, **kwargs):
+            trains["n"] += 1
+            return real_train(self, *args, **kwargs)
+
+        monkeypatch.setattr(Classifier, "train", counting_train)
+        assert main(["predict", "gemm", "--size", "512"]) == 0
+        assert trains["n"] == 1
+        assert "trained and cached" in capsys.readouterr().err
+        assert main(["predict", "gemm", "--size", "512"]) == 0
+        assert trains["n"] == 1  # served warm from the artifact cache
+        assert "artifact cache hit" in capsys.readouterr().err
+
+    def test_predict_variant_flags_select_cached_model(
+            self, tmp_path, monkeypatch, tiny_dataset, capsys):
+        """--family/--features pick which cached variant serves the
+        warm path (not just the single tree/static-all default)."""
+        monkeypatch.setattr("repro.api.classifier.build_dataset",
+                            lambda *args, **kwargs: tiny_dataset)
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE",
+                           str(tmp_path / "cache"))
+        args = ["predict", "gemm", "--size", "512",
+                "--features", "static-agg"]
+        assert main(args) == 0
+        assert "trained and cached" in capsys.readouterr().err
+        assert main(args) == 0
+        assert "artifact cache hit" in capsys.readouterr().err
+
+    def test_serve_stdio_is_fleet_backed(self, tmp_path, monkeypatch,
+                                         tiny_dataset, capsys):
+        """stdio serving understands the model field and admin verbs."""
+        monkeypatch.setattr("repro.api.classifier.build_dataset",
+                            lambda *args, **kwargs: tiny_dataset)
+        monkeypatch.setenv("REPRO_ARTIFACT_CACHE",
+                           str(tmp_path / "cache"))
+        monkeypatch.setattr(sys, "stdin", io.StringIO(
+            '{"cmd": "list_models", "id": 1}\n'
+            '{"kernel": "gemm", "size": 512, '
+            '"model": "tree:static-agg", "id": 2}\n'))
+        assert main(["serve", "--models", "tree:static-agg",
+                     "--preload"]) == 0
+        captured = capsys.readouterr()
+        frames = [json.loads(line)
+                  for line in captured.out.strip().splitlines()]
+        assert [f["ok"] for f in frames] == [True, True]
+        specs = [m["model"] for m in frames[0]["models"]]
+        assert "tree:static-agg:paper" in specs
+        assert frames[1]["prediction"] in range(1, 9)
+        assert "pre-loaded model tree:static-agg:paper" in captured.err

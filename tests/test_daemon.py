@@ -326,7 +326,11 @@ class TestScoringClient:
     def test_eof_raises_transport_error(self, unix_path):
         listener = self._fake_server(unix_path, [])
         try:
-            client = ScoringClient(socket_path=unix_path)
+            # reconnection would re-dial the fake one-shot server and
+            # wait out the timeout; the no-retry path must still raise
+            # a clean typed error
+            client = ScoringClient(socket_path=unix_path,
+                                   reconnect_retries=0)
             with pytest.raises(ScoringError) as excinfo:
                 client.request({"cmd": "info"})
             assert excinfo.value.code == "transport"

@@ -6,6 +6,7 @@ import pytest
 
 import examples.daemon_scoring as daemon_scoring
 import examples.energy_exploration as energy_exploration
+import examples.fleet_scoring as fleet_scoring
 import examples.quickstart as quickstart
 import examples.trace_inspection as trace_inspection
 
@@ -32,6 +33,14 @@ class TestExamples:
         daemon_scoring.main()
         out = capsys.readouterr().out
         assert "predicted min-energy cores" in out
+        assert "daemon stopped cleanly" in out
+
+    def test_fleet_scoring(self, capsys):
+        fleet_scoring.main()
+        out = capsys.readouterr().out
+        assert "fleet serves 3 models" in out
+        assert "transparently reloaded" in out
+        assert "code='unknown_model'" in out
         assert "daemon stopped cleanly" in out
 
     @pytest.mark.slow
