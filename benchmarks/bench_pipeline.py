@@ -12,7 +12,11 @@ batched throughput, and (e) the multi-model fleet daemon
 (:mod:`repro.api.fleet`): the same single-row levels against the
 event-loop transport with adaptive micro-batching, a two-model mixed
 level, and the speedup over the unbatched daemon measured in the same
-run (each level best-of-``LEVEL_REPEATS``) — then writes the numbers
+run (each level best-of-``LEVEL_REPEATS``), plus (f) the **pipelined
+client** — sequential vs windowed in-flight single rows on one
+connection, alternating rounds in the same time window — and (g)
+**sharded serving** at 1/2/4 shard processes behind one unix
+endpoint, counts interleaved per round — then writes the numbers
 to ``BENCH_pipeline.json`` so later PRs
 can track the trajectory.  With ``--skip-build`` the previous file's
 ``cold_build`` section is carried over instead of dropped.
@@ -459,6 +463,189 @@ def bench_fleet(concurrencies=(1, 4, 16), requests_per_client: int = 200,
     return results
 
 
+def bench_pipelined(requests: int = 2000, window: int = 64,
+                    rounds: int = 5) -> dict:
+    """Pipelined vs sequential single-row client, interleaved paired.
+
+    One event-loop fleet daemon, one client connection per mode; the
+    two modes alternate measurement rounds in the same time window
+    (the box is shared, so cross-section ratios drift) and the
+    recorded speedup is the ratio of medians.  The pipelined client
+    keeps ``window`` requests in flight on the one connection, which
+    is what feeds the daemon's micro-batch coalescing from a single
+    client; the acceptance bar is >= 1.5x.  Every wire prediction is
+    asserted identical to the local classifier.
+    """
+    from repro.api import (
+        Classifier,
+        MicroBatcher,
+        ModelFleet,
+        ReproConfig,
+        ScoringClient,
+        ScoringDaemon,
+    )
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_pipelined_")
+    fleet = None
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        clf = Classifier(ReproConfig(profile="unit")).train(dataset)
+        X = dataset.matrix(clf.feature_names_)
+        base_rows = [list(map(float, row)) for row in X]
+        reps = max(1, -(-requests // len(base_rows)))
+        rows = (base_rows * reps)[:requests]
+        expected = [int(p) for p in clf.predict_batch(np.asarray(rows))]
+
+        socket_path = os.path.join(workdir, "pipe.sock")
+        fleet = ModelFleet(batcher=MicroBatcher(max_batch=window,
+                                                max_delay_us=1000),
+                           default=clf)
+        daemon = ScoringDaemon(fleet=fleet, socket_path=socket_path,
+                               workers=4)
+
+        def run_sequential(client) -> float:
+            start = time.perf_counter()
+            got = [client.predict(row) for row in rows]
+            wall = time.perf_counter() - start
+            if got != expected:
+                raise AssertionError("sequential predictions diverged")
+            return round(len(rows) / wall, 1)
+
+        def run_pipelined(client) -> float:
+            start = time.perf_counter()
+            got = client.predict_pipelined(rows, window=window)
+            wall = time.perf_counter() - start
+            if got != expected:
+                raise AssertionError("pipelined predictions diverged")
+            return round(len(rows) / wall, 1)
+
+        with daemon:
+            with ScoringClient(socket_path=socket_path) as client:
+                client.predict_pipelined(rows[:64], window=window)
+                sequential_runs, pipelined_runs = [], []
+                for _ in range(rounds):
+                    sequential_runs.append(run_sequential(client))
+                    pipelined_runs.append(run_pipelined(client))
+        sequential = sorted(sequential_runs)[rounds // 2]
+        pipelined = sorted(pipelined_runs)[rounds // 2]
+        return {
+            "transport": "unix",
+            "requests": requests,
+            "window": window,
+            "rounds": rounds,
+            "sequential_rows_per_sec": sequential,
+            "pipelined_rows_per_sec": pipelined,
+            "speedup": round(pipelined / sequential, 2),
+        }
+    finally:
+        if fleet is not None:
+            fleet.close()  # stop the batcher thread even on failure
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def bench_shards(shard_counts=(1, 2, 4), clients: int = 4,
+                 requests_per_client: int = 500,
+                 rounds: int = 3) -> dict:
+    """Sharded serving at 1/2/4 shards, measured on the same basis.
+
+    Saves one trained artifact, then — per measurement round —
+    cycles through the shard counts, standing up a fresh
+    :class:`repro.api.ShardManager` (fleet daemons behind a unix
+    shard registry, exactly what ``repro serve --shards N`` deploys)
+    and hammering it with *clients* pipelined client connections.
+    Interleaving the counts inside each round keeps the comparison
+    paired on a shared box; medians per count are recorded.
+    """
+    import functools
+    import threading
+
+    from repro.api import (
+        Classifier,
+        ReproConfig,
+        ScoringClient,
+        ShardManager,
+    )
+    from repro.api.shard import fleet_factory
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_shards_")
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        clf = Classifier(ReproConfig(profile="unit")).train(dataset)
+        artifact = os.path.join(workdir, "model.json")
+        clf.save(artifact)
+        X = dataset.matrix(clf.feature_names_)
+        base_rows = [list(map(float, row)) for row in X]
+        reps = max(1, -(-requests_per_client // len(base_rows)))
+        rows = (base_rows * reps)[:requests_per_client]
+        expected = [int(p) for p in clf.predict_batch(np.asarray(rows))]
+        factory = functools.partial(fleet_factory, model_path=artifact,
+                                    profile="unit")
+
+        def hammer(base_path: str) -> float:
+            errors: list = []
+
+            def worker() -> None:
+                try:
+                    with ScoringClient(socket_path=base_path) as cl:
+                        got = cl.predict_pipelined(rows, window=32)
+                    if got != expected:
+                        raise AssertionError("sharded predictions "
+                                             "diverged")
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(clients)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+            if errors:
+                raise errors[0]
+            return round(clients * len(rows) / wall, 1)
+
+        runs = {count: [] for count in shard_counts}
+        for round_index in range(rounds):
+            for count in shard_counts:
+                base = os.path.join(workdir,
+                                    f"s{count}_r{round_index}.sock")
+                with ShardManager(factory, shards=count,
+                                  socket_path=base, workers=4):
+                    hammer(base)  # warm-up (children page in numpy)
+                    runs[count].append(hammer(base))
+        levels = []
+        baseline = None
+        for count in shard_counts:
+            rps = sorted(runs[count])[rounds // 2]
+            if baseline is None:
+                baseline = rps
+            levels.append({
+                "shards": count,
+                "clients": clients,
+                "requests": clients * len(rows),
+                "rows_per_sec": rps,
+                "speedup_vs_1_shard": round(rps / baseline, 2),
+            })
+        return {
+            "transport": "unix",
+            "rounds": rounds,
+            "pipeline_window": 32,
+            "levels": levels,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="quick",
@@ -568,6 +755,22 @@ def main(argv=None) -> int:
           f"unbatched {paired['unbatched_rows_per_sec']} rows/s, "
           f"fleet {paired['fleet_rows_per_sec']} rows/s "
           f"-> {paired['speedup']}x")
+
+    print("pipelined client vs sequential (interleaved paired) ...",
+          flush=True)
+    results["pipeline_client"] = bench_pipelined()
+    pipe = results["pipeline_client"]
+    print(f"  sequential {pipe['sequential_rows_per_sec']} rows/s, "
+          f"pipelined {pipe['pipelined_rows_per_sec']} rows/s "
+          f"(window {pipe['window']}) -> {pipe['speedup']}x")
+
+    print("sharded daemons at 1/2/4 shards (interleaved rounds) ...",
+          flush=True)
+    results["shards"] = bench_shards()
+    for level in results["shards"]["levels"]:
+        print(f"  {level['shards']} shard(s): "
+              f"{level['rows_per_sec']} rows/s "
+              f"({level['speedup_vs_1_shard']}x vs 1 shard)")
 
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)

@@ -1,4 +1,4 @@
-"""CI smoke test for the persistent scoring daemon — fleet edition.
+"""CI smoke test for the persistent scoring daemon — sharded edition.
 
 Trains **two** distinct model/feature-set variants (a ``tree`` on
 ``static-all`` and a ``forest`` on ``static-agg``; four kernels, unit
@@ -9,9 +9,16 @@ pushes ``--rows`` feature rows through ``--clients`` concurrent
 the forest via the ``model`` request field, even clients hitting the
 pinned default — and asserts every wire prediction is byte-identical
 to the matching local ``predict_batch``.  Also exercises the admin
-verbs (``list_models`` / ``load_model`` / ``evict_model``) and checks
-clean shutdown (socket unlinked, counters consistent).  Exit code 0
-means the fleet deployment path works end to end.
+verbs (``list_models`` / ``load_model`` / ``evict_model``), the
+``stats`` verb, and clean shutdown (socket unlinked, counters
+consistent).
+
+Then the **sharded** leg: a ``--shards``-process
+:class:`repro.api.ShardManager` deployment behind one unix shard
+registry, a pipelined client round trip through it
+(``predict_pipelined``, byte-identical again), per-shard stats via the
+registry, and clean fan-out shutdown (registry and shard sockets
+gone).  Exit code 0 means both deployment paths work end to end.
 
 Run from the repo root::
 
@@ -21,6 +28,7 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
+import functools
 import os
 import shutil
 import sys
@@ -41,8 +49,11 @@ from repro.api import (  # noqa: E402
     ReproConfig,
     ScoringClient,
     ScoringDaemon,
+    ShardManager,
+    classifier_factory,
     load_or_train,
 )
+from repro.api.shard import read_registry  # noqa: E402
 from repro.dataset.build import build_dataset  # noqa: E402
 from repro.dataset.registry import get_kernel_spec  # noqa: E402
 from repro.errors import FleetError  # noqa: E402
@@ -57,6 +68,7 @@ def main(argv=None) -> int:
     parser.add_argument("--clients", type=int, default=4)
     parser.add_argument("--workers", type=int, default=8)
     parser.add_argument("--max-batch", type=int, default=16)
+    parser.add_argument("--shards", type=int, default=2)
     args = parser.parse_args(argv)
 
     workdir = tempfile.mkdtemp(prefix="daemon_smoke_")
@@ -172,6 +184,45 @@ def main(argv=None) -> int:
             f"{stats['requests_served']} requests, "
             f"mean coalesced batch {loop_stats.get('mean_fast_batch')}, "
             f"clean shutdown"
+        )
+
+        # -- sharded leg: N processes, one registry, pipelined client --
+        artifact = os.path.join(workdir, "tree.json")
+        tree.save(artifact)
+        base = os.path.join(workdir, "shards.sock")
+        rows = rows_of[None]
+        want = expected[None]
+        manager = ShardManager(
+            functools.partial(classifier_factory, artifact),
+            shards=args.shards,
+            socket_path=base,
+            workers=4,
+        )
+        with manager:
+            registry = read_registry(base)
+            assert len(registry) == args.shards, registry
+            with ScoringClient(socket_path=base) as client:
+                got = client.predict_pipelined(
+                    [list(map(float, row)) for row in rows], window=16
+                )
+                assert got == want, "sharded pipelined diverged"
+            shard_requests = {}
+            for row in registry:
+                with ScoringClient(socket_path=row["path"]) as client:
+                    shard_stats = client.stats()
+                    assert shard_stats["shard"]["pid"] == row["pid"]
+                    shard_requests[shard_stats["shard"]["index"]] = (
+                        shard_stats["server"]["requests_served"]
+                    )
+            assert sorted(shard_requests) == list(range(args.shards))
+        assert not os.path.exists(base), "registry not removed"
+        for row in registry:
+            assert not os.path.exists(row["path"]), "shard socket left"
+
+        print(
+            f"shard smoke OK: {len(rows)} pipelined predictions across "
+            f"{args.shards} shards, per-shard requests "
+            f"{shard_requests}, clean fan-out shutdown"
         )
         return 0
     finally:

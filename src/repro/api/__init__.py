@@ -18,17 +18,22 @@ Extension points: :func:`register_model_family` (e.g. a new ensemble)
 and :func:`register_feature_set` (e.g. a new static feature family)
 plug new behaviour in without touching any caller.
 
-Serving: :class:`ScoringDaemon` keeps one loaded classifier resident
-behind a Unix/TCP socket and answers the JSON-lines protocol for many
-concurrent clients; :class:`ScoringClient` is its wire client; and
-:func:`load_or_train` caches trained model artifacts keyed on
-``(dataset tag, CODE_VERSION, model family, feature set)`` so identical
-configurations never retrain.
+Serving: :class:`ScoringDaemon` keeps one loaded classifier (or a
+multi-model fleet) resident behind a Unix/TCP socket and answers the
+JSON-lines protocol for many concurrent clients — every transport
+(stdio, threaded daemon, event loop) dispatches through the unified
+core in :mod:`repro.api.transport`.  :class:`ShardManager` scales that
+to N daemon processes behind one endpoint; :class:`ScoringClient` is
+the wire client (sequential and pipelined); and :func:`load_or_train`
+caches trained model artifacts keyed on ``(dataset tag, CODE_VERSION,
+model family, feature set)`` — bounded in age by
+``$REPRO_ARTIFACT_TTL`` — so identical configurations never retrain.
 """
 
 from repro.api.artifact_cache import (
     artifact_key,
     artifact_path,
+    artifact_ttl,
     dataset_tag,
     load_cached,
     load_or_train,
@@ -41,11 +46,23 @@ from repro.api.classifier import (
     evaluate_features,
     kernel_features,
 )
-from repro.api.client import ScoringClient
+from repro.api.client import DEFAULT_PIPELINE_WINDOW, ScoringClient
 from repro.api.daemon import (
     DEFAULT_WORKERS,
     ScoringDaemon,
     parse_tcp_endpoint,
+)
+from repro.api.shard import (
+    ShardManager,
+    classifier_factory,
+    fleet_factory,
+)
+from repro.api.transport import (
+    EventLoopServer,
+    LineSplitter,
+    RequestEngine,
+    ThreadedServer,
+    serve_stdio,
 )
 from repro.api.fleet import (
     MicroBatcher,
@@ -92,6 +109,7 @@ __all__ = [
     "kernel_features",
     "artifact_key",
     "artifact_path",
+    "artifact_ttl",
     "dataset_tag",
     "load_cached",
     "load_or_train",
@@ -101,8 +119,17 @@ __all__ = [
     "ModelPool",
     "ScoringClient",
     "ScoringDaemon",
+    "ShardManager",
+    "classifier_factory",
+    "fleet_factory",
+    "DEFAULT_PIPELINE_WINDOW",
     "DEFAULT_WORKERS",
     "parse_tcp_endpoint",
+    "EventLoopServer",
+    "LineSplitter",
+    "RequestEngine",
+    "ThreadedServer",
+    "serve_stdio",
     "ERROR_BAD_REQUEST",
     "ERROR_INTERNAL",
     "ERROR_INVALID_JSON",

@@ -19,7 +19,12 @@ under a different ``CODE_VERSION``) are retrained over, never trusted.
 
 The cache directory defaults to ``.repro_cache/models`` next to the
 simulation cache and can be pointed elsewhere with
-``$REPRO_ARTIFACT_CACHE``.
+``$REPRO_ARTIFACT_CACHE``.  Long-running deployments can additionally
+bound artifact *age*: a TTL (``ttl=`` seconds on
+:func:`load_or_train` / :func:`load_cached`, or ``$REPRO_ARTIFACT_TTL``
+fleet-wide) treats artifacts older than the bound as stale, so a
+daemon restarted after the TTL refits against fresh campaign data
+instead of serving an arbitrarily old model forever.
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
+import warnings
 
 from repro.api.classifier import Classifier
 from repro.api.config import ReproConfig
@@ -36,12 +43,53 @@ from repro.version import CODE_VERSION
 #: default artifact directory, next to the simulation cache.
 DEFAULT_ARTIFACT_DIR = os.path.join(".repro_cache", "models")
 
+#: environment variable bounding artifact age (seconds) fleet-wide.
+TTL_ENV_VAR = "REPRO_ARTIFACT_TTL"
+
 
 def artifact_cache_dir(cache_dir: str | None = None) -> str:
     """Resolve the artifact directory (arg > env > default)."""
     if cache_dir is not None:
         return cache_dir
     return os.environ.get("REPRO_ARTIFACT_CACHE", DEFAULT_ARTIFACT_DIR)
+
+
+def artifact_ttl(ttl: float | None = None) -> float | None:
+    """Resolve the artifact TTL in seconds (arg > env > no expiry).
+
+    ``None`` means artifacts never age out (the pre-TTL behaviour).  A
+    non-positive TTL treats every existing artifact as stale — the
+    explicit "always refit" knob.  An unparsable ``$REPRO_ARTIFACT_TTL``
+    warns and is ignored rather than silently disabling caching.
+    """
+    if ttl is not None:
+        return float(ttl)
+    raw = os.environ.get(TTL_ENV_VAR)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(
+            f"invalid {TTL_ENV_VAR}={raw!r} (not a number of seconds); "
+            f"artifacts will not expire",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
+def _expired(path: str, ttl: float | None) -> bool:
+    """Whether the artifact at *path* is older than *ttl* seconds."""
+    if ttl is None:
+        return False
+    if ttl <= 0:
+        return True
+    try:
+        age = time.time() - os.path.getmtime(path)
+    except OSError:
+        return True  # racing deletion: treat as a miss
+    return age > ttl
 
 
 def dataset_tag(dataset=None, profile: str | None = None) -> str:
@@ -90,6 +138,7 @@ def load_cached(
     config: ReproConfig | None = None,
     dataset=None,
     cache_dir: str | None = None,
+    ttl: float | None = None,
 ) -> Classifier | None:
     """The cached classifier for *config*, or ``None`` on a miss.
 
@@ -97,12 +146,15 @@ def load_cached(
     artifacts count as misses, and nothing is ever trained.  The
     serving fleet (:mod:`repro.api.fleet`) uses this for cold model
     keys, where a request must not silently kick off a training
-    campaign.
+    campaign.  *ttl* (or ``$REPRO_ARTIFACT_TTL``) bounds artifact age
+    in seconds; older artifacts count as misses too.
     """
     config = config or ReproConfig()
     path = artifact_path(config, dataset, cache_dir)
     if not os.path.exists(path):
         return None
+    if _expired(path, artifact_ttl(ttl)):
+        return None  # aged out: refit rather than serve a stale model
     try:
         return Classifier.load(path)
     except MLError:
@@ -115,17 +167,19 @@ def load_or_train(
     cache_dir: str | None = None,
     force: bool = False,
     progress=None,
+    ttl: float | None = None,
 ) -> tuple:
     """A fitted classifier for *config*, cached across invocations.
 
     Returns ``(classifier, cache_hit)``.  On a miss (or ``force=True``,
-    or a stale/corrupt artifact) the classifier is trained — building
-    the configured dataset when none is given — and the fresh artifact
-    is saved back to the cache.
+    an artifact older than *ttl* / ``$REPRO_ARTIFACT_TTL`` seconds, or
+    a stale/corrupt artifact) the classifier is trained — building the
+    configured dataset when none is given — and the fresh artifact is
+    saved back to the cache.
     """
     config = config or ReproConfig()
     if not force:
-        cached = load_cached(config, dataset, cache_dir)
+        cached = load_cached(config, dataset, cache_dir, ttl=ttl)
         if cached is not None:
             return cached, True
     path = artifact_path(config, dataset, cache_dir)

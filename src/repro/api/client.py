@@ -14,7 +14,25 @@ A daemon restart mid-session (``ConnectionResetError`` /
 fresh connection by default (``reconnect_retries``); requests are
 idempotent reads, so the retry is safe, and a daemon that stays down
 surfaces as one clean ``ScoringError(code="transport")`` — never a raw
-``OSError``.
+``OSError``.  Response lines are bounded by
+:data:`repro.api.protocol.MAX_RESPONSE_BYTES`, mirroring the server's
+request guard, so a misbehaving server cannot grow the receive buffer
+without limit.
+
+**Sharded endpoints** (see :mod:`repro.api.shard`): when the unix
+``socket_path`` turns out to be a shard *registry* rather than a
+socket, the client picks a shard from it — rotating across
+(re)connections — and reconnect-with-retry re-reads the registry, so a
+request retried after a shard crash lands on a live shard.  Sharded
+TCP endpoints need nothing: the kernel balances ``SO_REUSEPORT``
+listeners behind the one port.
+
+**Pipelining**: :meth:`request_pipelined` /
+:meth:`predict_pipelined` keep up to ``window`` requests in flight on
+the one connection, completing them out of order by id — this is what
+feeds the daemon's micro-batch coalescing from a single client and is
+several times faster than sequential single rows (see
+``BENCH_pipeline.json``).
 
 Usage::
 
@@ -22,7 +40,9 @@ Usage::
         client.predict({"op": 3072.0, ...})     # feature mapping
         client.predict_kernel("gemm", size=512)  # registry kernel
         client.predict_batch(rows)               # (n, n_features) rows
+        client.predict_pipelined(rows)           # n single rows, 1 conn
         client.info()                            # loaded-model summary
+        client.stats()                           # server stats tree
 
 Against a fleet daemon (see :mod:`repro.api.fleet`) every scoring verb
 accepts ``model="family:feature_set[:dataset_tag]"`` to pick the
@@ -34,9 +54,12 @@ serving model per request, and the admin verbs
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
+from collections import deque
 
+from repro.api.protocol import MAX_RESPONSE_BYTES
 from repro.errors import ScoringError
 
 #: raised (as ScoringError.code) on response-id mismatches.
@@ -44,16 +67,21 @@ ERROR_ID_MISMATCH = "id_mismatch"
 #: raised (as ScoringError.code) on transport-level failures.
 ERROR_TRANSPORT = "transport"
 
+#: default bound on in-flight pipelined requests per connection.
+DEFAULT_PIPELINE_WINDOW = 32
+
 
 class ScoringClient:
     """One connection to a scoring daemon; thread-safe request pairing.
 
     Exactly one endpoint must be given: ``socket_path`` (Unix domain
-    socket) or ``tcp`` (a ``(host, port)`` pair).  The connection opens
-    eagerly so a bad endpoint fails at construction, not first use.
+    socket, or a shard registry written by
+    :class:`repro.api.shard.ShardManager`) or ``tcp`` (a
+    ``(host, port)`` pair).  The connection opens eagerly so a bad
+    endpoint fails at construction, not first use.
     ``reconnect_retries`` bounds how many fresh connections a single
-    request may try after the daemon drops the current one (0 disables
-    reconnection).
+    request (or pipelined batch) may try after the daemon drops the
+    current one (0 disables reconnection).
     """
 
     def __init__(
@@ -81,49 +109,99 @@ class ScoringClient:
         self._lock = threading.Lock()
         self._next_id = 0
         self._closed = False
+        self._dead = True  # no live connection yet
         self._rbuf = bytearray()
+        # sharded unix endpoints rotate across candidate shards; the
+        # start offset spreads independent clients over the fleet
+        self._rotation = int.from_bytes(os.urandom(2), "big")
         self._sock = self._connect()
 
+    # -- connection management ---------------------------------------------
+
+    def _candidate_endpoints(self) -> list:
+        """Concrete endpoints behind the configured one, in try-order.
+
+        A unix ``socket_path`` that holds a shard registry (see
+        :mod:`repro.api.shard`) expands to the shard socket paths; the
+        registry is re-read on every (re)connect, so crashed or
+        re-sharded deployments are picked up without restarting the
+        client.
+        """
+        if self._socket_path is None:
+            return [("tcp", self._tcp)]
+        if os.path.isfile(self._socket_path):
+            from repro.api.shard import read_registry
+
+            shards = read_registry(self._socket_path)
+            if shards:
+                return [("unix", shard["path"]) for shard in shards]
+        return [("unix", self._socket_path)]
+
     def _connect(self) -> socket.socket:
-        """Open one connection to the configured endpoint."""
-        if self._socket_path is not None:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            endpoint: object = self._socket_path
-        else:
-            host, port = self._tcp
-            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            endpoint = (host, int(port))
-        sock.settimeout(self._timeout)
-        try:
-            sock.connect(endpoint)
-        except OSError as exc:
-            sock.close()
-            raise ScoringError(
-                f"cannot connect to scoring daemon at {endpoint!r}: {exc}",
-                code=ERROR_TRANSPORT,
-            )
-        self._rbuf.clear()
-        return sock
+        """Open one connection, trying every candidate shard once."""
+        candidates = self._candidate_endpoints()
+        start = self._rotation
+        self._rotation += 1
+        last_error: OSError | None = None
+        last_endpoint: object = None
+        for offset in range(len(candidates)):
+            kind, target = candidates[(start + offset) % len(candidates)]
+            if kind == "unix":
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                endpoint: object = target
+            else:
+                host, port = target
+                sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                endpoint = (host, int(port))
+            sock.settimeout(self._timeout)
+            try:
+                sock.connect(endpoint)
+            except OSError as exc:
+                sock.close()
+                last_error, last_endpoint = exc, endpoint
+                continue
+            self._rbuf.clear()
+            self._dead = False
+            return sock
+        raise ScoringError(
+            f"cannot connect to scoring daemon at {last_endpoint!r}: "
+            f"{last_error}",
+            code=ERROR_TRANSPORT,
+        )
 
     def _recv_line(self) -> bytes:
         """One newline-terminated response frame; ``b""`` on EOF.
 
         A hand-rolled buffer instead of ``makefile().readline()`` —
         the buffered-text layer costs real microseconds on the
-        daemon's hot single-row path.
+        daemon's hot single-row path.  Mirrors the server's request
+        guard: a response growing past
+        :data:`~repro.api.protocol.MAX_RESPONSE_BYTES` without a
+        newline tears the connection down and raises cleanly.
         """
         while True:
             idx = self._rbuf.find(b"\n")
             if idx >= 0:
-                line = bytes(self._rbuf[:idx + 1])
-                del self._rbuf[:idx + 1]
+                line = bytes(self._rbuf[: idx + 1])
+                del self._rbuf[: idx + 1]
                 return line
             chunk = self._sock.recv(65536)
             if not chunk:
                 return b""
             self._rbuf += chunk
+            if len(self._rbuf) > MAX_RESPONSE_BYTES:
+                self._teardown_connection()
+                raise ScoringError(
+                    f"daemon streamed more than {MAX_RESPONSE_BYTES} "
+                    f"bytes without a newline; closing the "
+                    f"desynchronized connection",
+                    code=ERROR_TRANSPORT,
+                )
 
     def _teardown_connection(self) -> None:
+        # leaves the client re-dialable: the next request re-connects
+        # lazily (see the _dead checks in the request paths)
+        self._dead = True
         try:
             self._sock.close()
         except OSError:
@@ -153,11 +231,17 @@ class ScoringClient:
             line = None
             for attempt in range(self._reconnect_retries + 1):
                 try:
+                    if self._dead:
+                        # a prior teardown (desync guard, drop) left no
+                        # live connection: dial fresh before sending
+                        self._sock = self._connect()
                     self._sock.sendall(wire)
                     line = self._recv_line()
                 except (ConnectionResetError, BrokenPipeError) as exc:
-                    # the daemon went away mid-request (restart?): one
-                    # clean retry on a fresh connection, then give up
+                    # the daemon went away mid-request (restart? shard
+                    # crash?): one clean retry on a fresh connection —
+                    # re-resolved through the shard registry when one
+                    # is configured — then give up
                     self._teardown_connection()
                     if attempt >= self._reconnect_retries:
                         raise ScoringError(
@@ -169,7 +253,13 @@ class ScoringClient:
                         )
                     self._sock = self._connect()
                     continue
+                except ScoringError:
+                    raise
                 except OSError as exc:
+                    # timeouts and other socket errors may leave the
+                    # response queued: the stream cannot be trusted, so
+                    # tear it down (the next request re-dials)
+                    self._teardown_connection()
                     raise ScoringError(
                         f"transport failure talking to the daemon: {exc}",
                         code=ERROR_TRANSPORT,
@@ -211,6 +301,8 @@ class ScoringClient:
                 request_id=req_id,
             )
         if response.get("id") != req_id:
+            with self._lock:
+                self._teardown_connection()  # desynchronized stream
             raise ScoringError(
                 f"response id {response.get('id')!r} does not match "
                 f"request id {req_id!r}; stream is desynchronized",
@@ -225,16 +317,148 @@ class ScoringClient:
             )
         return response
 
+    def request_pipelined(
+        self,
+        payloads,
+        window: int = DEFAULT_PIPELINE_WINDOW,
+    ) -> list:
+        """Send many requests with up to *window* in flight at once.
+
+        Responses may complete **out of order** (the daemon's event
+        loop answers coalesced fast-path rows and worker-pool verbs as
+        they finish); each is paired back to its request by id.
+        Returns the decoded response frames in *request* order — typed
+        error frames are returned in place, not raised, so one bad
+        request mid-pipeline does not discard the others' results
+        (:meth:`predict_pipelined` layers raising semantics on top).
+
+        Transport failures behave like :meth:`request`: a dropped
+        connection is re-dialed (through the shard registry when one
+        is configured) up to ``reconnect_retries`` times and every
+        request still unanswered is resent — requests are idempotent
+        reads, so replaying them is safe.  A frame that cannot be
+        paired to an in-flight id raises ``id_mismatch``.
+        """
+        if window < 1:
+            raise ScoringError(
+                f"window must be >= 1, got {window}",
+                code=ERROR_TRANSPORT,
+            )
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        with self._lock:
+            if self._closed:
+                raise ScoringError("client is closed", code=ERROR_TRANSPORT)
+            wires: list = []
+            ids: list = []
+            for payload in payloads:
+                req_id = self._next_id
+                self._next_id += 1
+                frame = dict(payload)
+                frame["id"] = req_id
+                wires.append((json.dumps(frame) + "\n").encode("utf-8"))
+                ids.append(req_id)
+            results: list = [None] * len(payloads)
+            to_send: deque = deque(range(len(payloads)))
+            in_flight: dict = {}  # req_id -> payload index
+            drops = 0
+            done = 0
+            while done < len(payloads):
+                try:
+                    if self._dead:
+                        self._sock = self._connect()
+                    while to_send and len(in_flight) < window:
+                        index = to_send.popleft()
+                        in_flight[ids[index]] = index
+                        self._sock.sendall(wires[index])
+                    line = self._recv_line()
+                except (ConnectionResetError, BrokenPipeError) as exc:
+                    drops += 1
+                    self._teardown_connection()
+                    if drops > self._reconnect_retries:
+                        raise ScoringError(
+                            f"connection to the daemon was dropped "
+                            f"({exc}) and was not recovered after "
+                            f"{drops} attempt(s)",
+                            code=ERROR_TRANSPORT,
+                        )
+                    self._requeue_in_flight(in_flight, to_send)
+                    self._sock = self._connect()
+                    continue
+                except ScoringError:
+                    raise
+                except OSError as exc:
+                    self._teardown_connection()
+                    raise ScoringError(
+                        f"transport failure talking to the daemon: {exc}",
+                        code=ERROR_TRANSPORT,
+                    )
+                if not line:
+                    drops += 1
+                    self._teardown_connection()
+                    if drops > self._reconnect_retries:
+                        raise ScoringError(
+                            "connection closed by the daemon before "
+                            "every pipelined response arrived",
+                            code=ERROR_TRANSPORT,
+                        )
+                    self._requeue_in_flight(in_flight, to_send)
+                    self._sock = self._connect()
+                    continue
+                try:
+                    response = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    self._teardown_connection()
+                    raise ScoringError(
+                        f"daemon sent an undecodable frame: {exc}",
+                        code=ERROR_TRANSPORT,
+                    )
+                if not isinstance(response, dict):
+                    self._teardown_connection()
+                    raise ScoringError(
+                        "daemon sent a non-object frame",
+                        code=ERROR_TRANSPORT,
+                    )
+                index = in_flight.pop(response.get("id"), None)
+                if index is None:
+                    # in-flight responses are abandoned either way, so
+                    # the stream cannot be reused: tear it down before
+                    # raising (the next request() dials fresh)
+                    self._teardown_connection()
+                    if not response.get("ok") and "id" not in response:
+                        # an error frame may legitimately lack an id
+                        # (e.g. the server's flood guard could not
+                        # decode far enough to find one): surface the
+                        # daemon's code, not a spurious id mismatch
+                        raise ScoringError(
+                            str(response.get("error", "unspecified daemon error")),
+                            code=response.get("code"),
+                        )
+                    raise ScoringError(
+                        f"response id {response.get('id')!r} does not "
+                        f"match any in-flight pipelined request; stream "
+                        f"is desynchronized",
+                        code=ERROR_ID_MISMATCH,
+                    )
+                results[index] = response
+                done += 1
+            return results
+
+    @staticmethod
+    def _requeue_in_flight(in_flight: dict, to_send: deque) -> None:
+        """Schedule every unanswered request for resend, oldest first."""
+        for index in sorted(in_flight.values(), reverse=True):
+            to_send.appendleft(index)
+        in_flight.clear()
+
     @staticmethod
     def _with_model(payload: dict, model: str | None) -> dict:
         if model is not None:
             payload["model"] = str(model)
         return payload
 
-    # -- scoring verbs -----------------------------------------------------
-
-    def predict(self, features, model: str | None = None) -> int:
-        """Score one feature mapping or feature vector."""
+    def _features_payload(self, features, model: str | None = None) -> dict:
         if hasattr(features, "keys"):
             payload = {"features": {k: float(v) for k, v in features.items()}}
         elif type(features) is list and all(
@@ -243,8 +467,44 @@ class ScoringClient:
             payload = {"features": features}  # already JSON-ready
         else:
             payload = {"features": [float(v) for v in features]}
-        response = self.request(self._with_model(payload, model))
+        return self._with_model(payload, model)
+
+    # -- scoring verbs -----------------------------------------------------
+
+    def predict(self, features, model: str | None = None) -> int:
+        """Score one feature mapping or feature vector."""
+        response = self.request(self._features_payload(features, model))
         return int(response["prediction"])
+
+    def predict_pipelined(
+        self,
+        rows,
+        model: str | None = None,
+        window: int = DEFAULT_PIPELINE_WINDOW,
+    ) -> list:
+        """Score many single rows with up to *window* in flight.
+
+        The single-connection streaming workhorse: unlike
+        :meth:`predict_batch` (one big request) the rows travel as
+        individual protocol requests, so the daemon's event loop
+        coalesces them adaptively alongside other clients' traffic —
+        and unlike looping :meth:`predict` the connection is never
+        idle waiting for a round trip.  Returns predictions in row
+        order; the first typed error frame raises
+        :class:`ScoringError` with the daemon's code.
+        """
+        payloads = [self._features_payload(row, model) for row in rows]
+        frames = self.request_pipelined(payloads, window=window)
+        predictions: list = []
+        for frame in frames:
+            if not frame.get("ok"):
+                raise ScoringError(
+                    str(frame.get("error", "unspecified daemon error")),
+                    code=frame.get("code"),
+                    request_id=frame.get("id"),
+                )
+            predictions.append(int(frame["prediction"]))
+        return predictions
 
     def predict_kernel(
         self,
@@ -270,6 +530,18 @@ class ScoringClient:
         """The daemon's loaded-model summary (family, features, versions)."""
         payload = self._with_model({"cmd": "info"}, model)
         return dict(self.request(payload)["info"])
+
+    def stats(self) -> dict:
+        """The server's stats tree (the ``{"cmd": "stats"}`` verb).
+
+        Carries a ``server`` section (transport counters — requests,
+        connections, event-loop coalesced batch sizes), a ``fleet``
+        section against fleet daemons (pool hits/evictions, batching),
+        and a ``shard`` section (index, pid) against sharded daemons —
+        query each shard of a unix-socket deployment to collect
+        per-shard request counts.
+        """
+        return dict(self.request({"cmd": "stats"})["stats"])
 
     # -- fleet admin verbs -------------------------------------------------
 

@@ -2,12 +2,19 @@
 
 ``repro serve`` on stdin/stdout pays the model-load cost on every
 process start and serves exactly one client.  :class:`ScoringDaemon`
-keeps one fitted :class:`repro.api.Classifier` resident and serves the
-same protocol (see :mod:`repro.api.protocol`) to many concurrent
-clients over a Unix domain socket or a TCP endpoint, dispatching each
-connection to a thread pool.  Predictions are pure numpy reads on the
-shared model, so worker threads score without locking and every
-response is byte-identical to a local ``predict_batch`` call.
+keeps one fitted :class:`repro.api.Classifier` (or a whole
+:class:`repro.api.fleet.ModelFleet`) resident and serves the same
+protocol (see :mod:`repro.api.protocol`) to many concurrent clients
+over a Unix domain socket or a TCP endpoint.
+
+The daemon owns the **endpoint lifecycle** only — binding, stale-socket
+reclaim, address reporting, unlinking on shutdown.  Actual serving is
+delegated to the unified transport core (:mod:`repro.api.transport`):
+a :class:`~repro.api.transport.RequestEngine` dispatches every request,
+behind either the thread-per-connection transport (single-model mode)
+or the selectors event loop with adaptive micro-batch coalescing
+(fleet mode).  Both transports emit byte-identical frames for the same
+requests because they share the engine.
 
 Typical embedding::
 
@@ -17,21 +24,14 @@ Typical embedding::
 
 or from the shell: ``repro serve --socket /tmp/repro.sock --workers 8``.
 
-**Fleet mode** swaps the single resident classifier for a
-:class:`repro.api.fleet.ModelFleet` — many resident models routed by
-the request's ``"model"`` field::
+**Fleet mode** swaps the single resident classifier for a model fleet —
+many resident models routed by the request's ``"model"`` field::
 
     daemon = ScoringDaemon(fleet=fleet, socket_path="/tmp/repro.sock")
 
-Fleet connections are served by a single-threaded event loop
-(:class:`repro.api.fleet.eventloop.FleetEventLoop`) instead of the
-thread pool: each select round coalesces concurrent single-row
-requests into per-model ``predict_batch`` calls (bounded by the
-fleet batcher's ``max_batch``), while kernel simulation, explicit
-batches, admin verbs and cold-model loads run on a small worker pool
-sized by ``workers``.  Requests without a ``"model"`` field hit the
-fleet's pinned default model, so pre-fleet clients see identical
-behaviour.
+Requests without a ``"model"`` field hit the fleet's pinned default
+model, so pre-fleet clients see identical behaviour.  For N-process
+serving of one endpoint see :class:`repro.api.shard.ShardManager`.
 """
 
 from __future__ import annotations
@@ -40,14 +40,21 @@ import os
 import socket
 import stat
 import threading
-from concurrent.futures import ThreadPoolExecutor
 
 from repro.api.classifier import Classifier
-from repro.api.service import process_line
+from repro.api.transport import (
+    DEFAULT_WORKERS,
+    EventLoopServer,
+    RequestEngine,
+    ThreadedServer,
+)
 from repro.errors import DaemonError
 
-#: default worker-thread count (and so the concurrent-connection cap).
-DEFAULT_WORKERS = 16
+__all__ = [
+    "DEFAULT_WORKERS",
+    "ScoringDaemon",
+    "parse_tcp_endpoint",
+]
 
 
 def _reclaim_stale_unix_socket(path: str) -> None:
@@ -77,13 +84,18 @@ def _reclaim_stale_unix_socket(path: str) -> None:
 
 
 class ScoringDaemon:
-    """Serve one loaded classifier to many clients over a socket.
+    """Serve one loaded scorer to many clients over a socket.
 
-    Exactly one transport must be configured: ``socket_path`` (a Unix
-    domain socket) or ``tcp`` (a ``(host, port)`` pair; port 0 binds an
-    ephemeral port, readable back from :attr:`address`).  ``workers``
-    bounds the number of concurrently served connections; further
-    connections queue in the listen backlog until a worker frees up.
+    Exactly one scorer must be configured (``classifier`` or ``fleet``)
+    and exactly one transport: ``socket_path`` (a Unix domain socket)
+    or ``tcp`` (a ``(host, port)`` pair; port 0 binds an ephemeral
+    port, readable back from :attr:`address`).  ``workers`` bounds the
+    number of concurrently served connections (single-model mode) or
+    sizes the slow-verb pool (fleet mode).  ``reuse_port`` sets
+    ``SO_REUSEPORT`` on TCP listeners so sharded daemons can share one
+    port (see :mod:`repro.api.shard`); ``stats_extra`` contributes
+    static sections (e.g. shard identity) to the ``{"cmd": "stats"}``
+    verb.
     """
 
     def __init__(
@@ -94,6 +106,8 @@ class ScoringDaemon:
         workers: int = DEFAULT_WORKERS,
         backlog: int = 128,
         fleet=None,
+        reuse_port: bool = False,
+        stats_extra: dict | None = None,
     ) -> None:
         if (classifier is None) == (fleet is None):
             raise DaemonError(
@@ -112,30 +126,33 @@ class ScoringDaemon:
             )
         if workers < 1:
             raise DaemonError(f"workers must be >= 1, got {workers}")
+        if reuse_port and tcp is None:
+            raise DaemonError("reuse_port applies to TCP endpoints only")
         self.fleet = fleet
         self.classifier = classifier
         self.socket_path = socket_path
         self.tcp = tuple(tcp) if tcp is not None else None
         self.workers = workers
         self.backlog = backlog
+        self.reuse_port = reuse_port
+        self.stats_extra = dict(stats_extra) if stats_extra else {}
         self._listener: socket.socket | None = None
-        self._loop = None  # FleetEventLoop in fleet mode
-        self._last_loop_stats: dict | None = None
-        self._pool: ThreadPoolExecutor | None = None
-        self._acceptor: threading.Thread | None = None
+        self._engine: RequestEngine | None = None
+        self._server = None  # ThreadedServer | EventLoopServer
+        self._last_server_stats: dict | None = None
         self._stopping = threading.Event()
         self._stopped = threading.Event()
-        self._lock = threading.Lock()
-        self._connections: set = set()
-        self._slots: threading.Semaphore | None = None
-        self._requests_served = 0
-        self._connections_served = 0
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def is_running(self) -> bool:
         return self._listener is not None and not self._stopping.is_set()
+
+    @property
+    def engine(self) -> RequestEngine | None:
+        """The dispatch engine while running (``None`` when stopped)."""
+        return self._engine
 
     @property
     def address(self) -> tuple:
@@ -151,10 +168,7 @@ class ScoringDaemon:
             return ("tcp", host, port)
         return ("tcp",) + self.tcp
 
-    def start(self) -> "ScoringDaemon":
-        """Bind the socket and start accepting connections."""
-        if self._listener is not None:
-            raise DaemonError("daemon is already started")
+    def _bind(self) -> socket.socket:
         if self.socket_path is not None:
             _reclaim_stale_unix_socket(self.socket_path)
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
@@ -165,50 +179,55 @@ class ScoringDaemon:
                 raise DaemonError(
                     f"cannot bind unix socket {self.socket_path!r}: {exc}"
                 )
-        else:
-            host, port = self.tcp
-            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            try:
-                listener.bind((host, int(port)))
-            except OSError as exc:
+            return listener
+        host, port = self.tcp
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        if self.reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
                 listener.close()
-                raise DaemonError(f"cannot bind tcp {host}:{port}: {exc}")
+                raise DaemonError(
+                    "this platform does not support SO_REUSEPORT; "
+                    "sharded TCP serving is unavailable"
+                )
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        try:
+            listener.bind((host, int(port)))
+        except OSError as exc:
+            listener.close()
+            raise DaemonError(f"cannot bind tcp {host}:{port}: {exc}")
+        return listener
+
+    def start(self) -> "ScoringDaemon":
+        """Bind the socket and start accepting connections."""
+        if self._listener is not None:
+            raise DaemonError("daemon is already started")
+        listener = self._bind()
         listener.listen(self.backlog)
         self._stopping.clear()
         self._stopped.clear()
         self._listener = listener
+        scorer = self.fleet if self.fleet is not None else self.classifier
+        self._engine = RequestEngine(scorer)
+        for name, payload in self.stats_extra.items():
+            self._engine.add_stats_source(name, lambda p=payload: dict(p))
         if self.fleet is not None:
-            # fleet mode serves from a single-threaded event loop (one
-            # IO thread, adaptive request coalescing, a small worker
-            # pool for slow verbs) — see repro.api.fleet.eventloop
-            from repro.api.fleet.eventloop import FleetEventLoop
-
+            # fleet mode serves from the selectors event loop (one IO
+            # thread, adaptive request coalescing, a small worker pool
+            # for slow verbs)
             batcher = getattr(self.fleet, "batcher", None)
             max_batch = batcher.max_batch if batcher is not None else 1
-            self._loop = FleetEventLoop(
-                self.fleet, listener, workers=self.workers, max_batch=max_batch
-            ).start()
-            return self
-        # a bounded accept timeout guarantees the acceptor re-checks the
-        # stop flag even on platforms where closing a listener does not
-        # wake a blocked accept()
-        listener.settimeout(0.5)
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.workers,
-            thread_name_prefix="repro-score",
-        )
-        self._slots = threading.Semaphore(self.workers)
-        self._acceptor = threading.Thread(
-            target=self._accept_loop,
-            name="repro-accept",
-            daemon=True,
-        )
-        self._acceptor.start()
+            server = EventLoopServer(
+                self._engine, listener, workers=self.workers, max_batch=max_batch
+            )
+        else:
+            server = ThreadedServer(self._engine, listener, workers=self.workers)
+        self._engine.add_stats_source("server", server.stats)
+        self._server = server.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop accepting, close live connections, drain the pool.
+        """Stop serving, close live connections, drain workers.
 
         Idempotent; a Unix socket path is unlinked on the way out so a
         clean restart can re-bind it.
@@ -216,34 +235,16 @@ class ScoringDaemon:
         if self._listener is None:
             return
         self._stopping.set()
-        if self._loop is not None:
-            self._loop.stop(timeout)  # closes its accepted connections
-            self._last_loop_stats = self._loop.stats()
-        try:
-            # shutdown() (unlike close()) wakes a blocked accept() on
-            # Linux; the accept timeout covers platforms where it won't
-            self._listener.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
+        if self._server is not None:
+            self._server.stop(timeout)  # closes the listener too
+            self._last_server_stats = self._server.stats()
+            self._server = None
         try:
             self._listener.close()
         except OSError:
             pass
-        self._loop = None
-        if self._acceptor is not None:
-            self._acceptor.join(timeout)
-            self._acceptor = None
-        with self._lock:
-            live = list(self._connections)
-        for conn in live:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
         self._listener = None
+        self._engine = None
         if self.socket_path is not None:
             try:
                 os.unlink(self.socket_path)
@@ -272,88 +273,31 @@ class ScoringDaemon:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.stop()
 
-    # -- serving -----------------------------------------------------------
+    # -- introspection -----------------------------------------------------
 
     def stats(self) -> dict:
         """Lifetime counters (requests, connections, live connections)."""
-        if self._last_loop_stats is not None or self._loop is not None:
-            loop_stats = (
-                self._loop.stats()
-                if self._loop is not None
-                else self._last_loop_stats
-            )
-            stats = {
-                "requests_served": loop_stats["requests_served"],
-                "connections_served": loop_stats["connections_served"],
-                "active_connections": loop_stats["active_connections"],
-                "workers": self.workers,
-                "loop": loop_stats,
-            }
+        if self._server is not None:
+            server_stats = self._server.stats()
+        elif self._last_server_stats is not None:
+            server_stats = self._last_server_stats
         else:
-            with self._lock:
-                stats = {
-                    "requests_served": self._requests_served,
-                    "connections_served": self._connections_served,
-                    "active_connections": len(self._connections),
-                    "workers": self.workers,
-                }
+            server_stats = {
+                "requests_served": 0,
+                "connections_served": 0,
+                "active_connections": 0,
+            }
+        stats = {
+            "requests_served": server_stats["requests_served"],
+            "connections_served": server_stats["connections_served"],
+            "active_connections": server_stats["active_connections"],
+            "workers": self.workers,
+        }
         if self.fleet is not None:
+            if server_stats.get("transport") == "eventloop":
+                stats["loop"] = server_stats
             stats["fleet"] = self.fleet.stats()
         return stats
-
-    def _accept_loop(self) -> None:
-        # a semaphore slot per worker: accept only when a worker can
-        # actually serve the connection, so excess clients wait in the
-        # kernel listen backlog instead of an unbounded internal queue
-        while not self._stopping.is_set():
-            if not self._slots.acquire(timeout=0.5):
-                continue  # all workers busy; re-check the stop flag
-            conn = None
-            while not self._stopping.is_set():
-                try:
-                    conn, _ = self._listener.accept()
-                    break
-                except socket.timeout:
-                    continue  # periodic stop-flag check
-                except OSError:
-                    break  # listener closed by stop()
-            if conn is None or self._stopping.is_set():
-                self._slots.release()
-                if conn is not None:
-                    conn.close()
-                break
-            with self._lock:
-                self._connections.add(conn)
-            self._pool.submit(self._serve_connection, conn)
-
-    def _serve_connection(self, conn: socket.socket) -> None:
-        """One client session: read lines, answer frames, until EOF."""
-        try:
-            reader = conn.makefile("r", encoding="utf-8", errors="replace")
-            writer = conn.makefile("w", encoding="utf-8")
-            with reader, writer:
-                for line in reader:
-                    # process_line answers every failure mode itself
-                    # (invalid JSON, bad requests, internal errors with
-                    # the request id preserved) — it does not raise
-                    response = process_line(self.classifier, line)
-                    if response is None:
-                        continue
-                    writer.write(response)
-                    writer.flush()
-                    with self._lock:
-                        self._requests_served += 1
-        except OSError:
-            pass  # client went away mid-session; nothing to answer
-        finally:
-            with self._lock:
-                self._connections.discard(conn)
-                self._connections_served += 1
-            try:
-                conn.close()
-            except OSError:
-                pass
-            self._slots.release()
 
 
 def parse_tcp_endpoint(endpoint: str) -> tuple:

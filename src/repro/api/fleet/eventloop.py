@@ -1,463 +1,35 @@
-"""Event-loop transport for the fleet daemon: batch where it counts.
+"""Back-compat shim — the event loop moved to :mod:`repro.api.transport`.
 
-Thread-per-connection serving spends most of each request's budget on
-thread hand-offs, buffered-IO layers and GIL churn — profiling the PR 3
-daemon put the per-request overhead at ~70 µs against ~46 µs of actual
-scoring work, which is why coalescing *only* the ``predict`` call
-(see :class:`repro.api.fleet.MicroBatcher`) barely moves aggregate
-throughput.  This module removes the overhead instead of amortizing a
-slice of it:
-
-* **one IO thread** owns every socket (a ``selectors`` loop): it
-  accepts, reads, splits lines, and is the *only* writer, so there are
-  no per-request thread wake-ups and no locks on the hot path;
-* every select round drains all readable connections and gathers their
-  eligible single-row ``{"features": ...}`` requests into one
-  per-model ``predict_batch`` call (bounded by ``max_batch``) — the
-  batching window is *adaptive*: it is exactly the time the previous
-  round spent scoring and writing, so a lone client is never delayed
-  and 16 concurrent clients coalesce to ~16-row batches automatically;
-* everything else — kernel simulation, explicit batches, admin verbs,
-  requests for models that are not resident yet (loading must never
-  block the IO thread) — is handed to a small worker pool; completed
-  frames come back through a queue and a self-pipe wake-up, and the
-  loop writes them.
-
-Outbound frames go through per-connection write buffers with proper
-partial-write / ``EVENT_WRITE`` handling, so one slow reader cannot
-stall the loop.  A connection that streams more than
-:data:`~repro.api.protocol.MAX_REQUEST_BYTES` without a newline is
-answered with a typed ``too_large`` frame and closed (the stream
-cannot be resynchronized).
+PR 4 introduced ``FleetEventLoop`` here as a fleet-only transport; the
+unified transport core generalized it into
+:class:`repro.api.transport.EventLoopServer`, which serves any
+:class:`repro.api.transport.RequestEngine` (single-model or fleet).
+This module keeps the old import path and constructor signature alive
+for embedders; new code should use the transport module directly.
 """
 
 from __future__ import annotations
 
-import json
-import os
-import selectors
 import socket
-import threading
-from collections import deque
-from concurrent.futures import ThreadPoolExecutor
 
-import numpy as np
-
-from repro.api.protocol import (
-    ERROR_BAD_REQUEST,
-    ERROR_INTERNAL,
-    ERROR_INVALID_JSON,
-    ERROR_TOO_LARGE,
-    MAX_REQUEST_BYTES,
-    encode_frame,
-    error_frame,
-    ok_frame,
-    request_id,
+from repro.api.transport import (  # noqa: F401  (re-exports)
+    RECV_BYTES,
+    EventLoopServer,
+    RequestEngine,
+    _prediction_frame,
 )
-from repro.errors import FleetError, MLError
-
-#: bytes read per ``recv`` on a readable connection.
-RECV_BYTES = 262144
 
 
-def _prediction_frame(req_id, prediction: int) -> str:
-    """An encoded single-prediction success frame.
+class FleetEventLoop(EventLoopServer):
+    """Deprecated alias: an :class:`EventLoopServer` over a fleet.
 
-    Byte-identical to ``encode_frame(ok_frame(...))`` but skips the
-    dict build and ``json.dumps`` for the int/absent request ids every
-    sane client sends — a few µs per row that matter at tens of
-    thousands of rows per second.
-    """
-    if req_id is None:
-        return '{"ok": true, "prediction": %d}\n' % prediction
-    if type(req_id) is int:
-        return '{"ok": true, "id": %d, "prediction": %d}\n' % (
-            req_id, prediction)
-    return encode_frame(ok_frame({"prediction": prediction}, req_id))
-
-
-class _Connection:
-    """Per-socket state owned by the loop thread (no locking needed)."""
-
-    __slots__ = ("sock", "rbuf", "wbuf", "closed", "overflowed",
-                 "want_write")
-
-    def __init__(self, sock: socket.socket) -> None:
-        self.sock = sock
-        self.rbuf = bytearray()
-        self.wbuf = bytearray()
-        self.closed = False
-        self.overflowed = False
-        self.want_write = False  # EVENT_WRITE interest is registered
-
-
-class FleetEventLoop:
-    """Serve a :class:`repro.api.fleet.ModelFleet` from one IO thread.
-
-    *listener* is a bound, listening socket whose lifetime belongs to
-    the caller (:class:`repro.api.daemon.ScoringDaemon`); the loop owns
-    every accepted connection.  *workers* sizes the slow-path pool,
-    *max_batch* bounds rows per coalesced ``predict_batch`` call.
+    Preserves the PR 4 contract that the listener's lifetime belongs
+    to the caller: :meth:`stop` does not close it.
     """
 
     def __init__(self, fleet, listener: socket.socket,
                  workers: int = 4, max_batch: int = 64) -> None:
+        super().__init__(RequestEngine(fleet), listener,
+                         workers=workers, max_batch=max_batch,
+                         close_listener=False)
         self.fleet = fleet
-        self.listener = listener
-        self.max_batch = max(1, int(max_batch))
-        self._workers = max(1, int(workers))
-        self._stopping = threading.Event()
-        self._default_classifier = None  # resolved at start()
-        self._thread: threading.Thread | None = None
-        self._executor: ThreadPoolExecutor | None = None
-        self._wake_r, self._wake_w = os.pipe()
-        os.set_blocking(self._wake_r, False)
-        os.set_blocking(self._wake_w, False)
-        self._completions: deque = deque()  # (conn, encoded-frame str)
-        self._lock = threading.Lock()       # completions + counters
-        self._requests_served = 0
-        self._connections_served = 0
-        self._active = 0
-        self._fast_rows = 0
-        self._fast_batches = 0
-        self._largest_fast_batch = 0
-        self._slow_requests = 0
-
-    # -- lifecycle ---------------------------------------------------------
-
-    def start(self) -> "FleetEventLoop":
-        self.listener.setblocking(False)
-        # the default model is pinned (the pool can never evict it), so
-        # one lookup outlives the loop — the per-request pool lock and
-        # LRU touch are reserved for requests that name a model
-        self._default_classifier = self.fleet.pool.peek(None)
-        self._executor = ThreadPoolExecutor(
-            max_workers=self._workers, thread_name_prefix="repro-slow")
-        self._thread = threading.Thread(target=self._run,
-                                        name="repro-ioloop", daemon=True)
-        self._thread.start()
-        return self
-
-    def stop(self, timeout: float = 10.0) -> None:
-        if self._thread is None:
-            return
-        self._stopping.set()
-        self._wake()
-        self._thread.join(timeout)
-        self._thread = None
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        for fd in (self._wake_r, self._wake_w):
-            try:
-                os.close(fd)
-            except OSError:
-                pass
-
-    def _wake(self) -> None:
-        try:
-            os.write(self._wake_w, b"\0")
-        except (OSError, ValueError):
-            pass  # pipe full (a wake-up is already pending) or closed
-
-    def stats(self) -> dict:
-        with self._lock:
-            fast_rows, fast_batches = self._fast_rows, self._fast_batches
-            return {
-                "requests_served": self._requests_served,
-                "connections_served": self._connections_served,
-                "active_connections": self._active,
-                "fast_rows": fast_rows,
-                "fast_batches": fast_batches,
-                "mean_fast_batch": (round(fast_rows / fast_batches, 2)
-                                    if fast_batches else 0.0),
-                "largest_fast_batch": self._largest_fast_batch,
-                "slow_requests": self._slow_requests,
-                "max_batch": self.max_batch,
-            }
-
-    # -- the loop ----------------------------------------------------------
-
-    def _run(self) -> None:
-        sel = selectors.DefaultSelector()
-        sel.register(self.listener, selectors.EVENT_READ, None)
-        sel.register(self._wake_r, selectors.EVENT_READ, None)
-        self._conns: set = set()
-        try:
-            while not self._stopping.is_set():
-                fast: list = []
-                events = sel.select(timeout=0.5)
-                if self._stopping.is_set():
-                    break
-                self._dispatch(events, sel, fast)
-                # greedy top-up: whatever arrived while this round was
-                # being read joins the same batch — but never wait
-                while fast and len(fast) < self.max_batch:
-                    more = sel.select(timeout=0)
-                    if not more:
-                        break
-                    self._dispatch(more, sel, fast)
-                self._drain_completions(sel)
-                while fast:
-                    chunk, fast = fast[:self.max_batch], \
-                        fast[self.max_batch:]
-                    self._execute_fast(chunk, sel)
-        finally:
-            for conn in list(self._conns):
-                self._close(conn, sel)
-            try:
-                sel.unregister(self.listener)
-            except (KeyError, ValueError):
-                pass
-            sel.close()
-
-    def _dispatch(self, events, sel, fast) -> None:
-        for key, mask in events:
-            if key.fileobj is self.listener:
-                self._accept(sel)
-            elif key.fileobj == self._wake_r:
-                try:
-                    os.read(self._wake_r, 4096)
-                except OSError:
-                    pass
-            else:
-                conn = key.data
-                if mask & selectors.EVENT_WRITE:
-                    self._flush(conn, sel)
-                if mask & selectors.EVENT_READ and not conn.closed:
-                    self._read(conn, sel, fast)
-
-    def _accept(self, sel) -> None:
-        while True:
-            try:
-                sock, _ = self.listener.accept()
-            except (BlockingIOError, InterruptedError):
-                return
-            except OSError:
-                return  # listener closed under us (stop())
-            sock.setblocking(False)
-            conn = _Connection(sock)
-            self._conns.add(conn)
-            sel.register(sock, selectors.EVENT_READ, conn)
-            with self._lock:
-                self._connections_served += 1
-                self._active = len(self._conns)
-
-    def _close(self, conn, sel) -> None:
-        if conn.closed:
-            return
-        conn.closed = True
-        self._conns.discard(conn)
-        try:
-            sel.unregister(conn.sock)
-        except (KeyError, ValueError):
-            pass
-        try:
-            conn.sock.close()
-        except OSError:
-            pass
-        with self._lock:
-            self._active = len(self._conns)
-
-    def _read(self, conn, sel, fast) -> None:
-        try:
-            data = conn.sock.recv(RECV_BYTES)
-        except (BlockingIOError, InterruptedError):
-            return
-        except OSError:
-            data = b""
-        if not data:
-            self._close(conn, sel)
-            return
-        conn.rbuf += data
-        while True:
-            idx = conn.rbuf.find(b"\n")
-            if idx < 0:
-                break
-            raw = bytes(conn.rbuf[:idx])
-            del conn.rbuf[:idx + 1]
-            self._route(conn, raw, sel, fast)
-        # inline answers (decode/validation error frames) don't pass
-        # through _execute_fast or the completion queue: flush them now
-        self._flush(conn, sel)
-        if len(conn.rbuf) > MAX_REQUEST_BYTES and not conn.overflowed:
-            # a newline-less flood: answer once, then drop the stream
-            # (it cannot be resynchronized to a line boundary)
-            conn.overflowed = True
-            self._stage(conn, encode_frame(error_frame(
-                ERROR_TOO_LARGE,
-                f"request line exceeds {MAX_REQUEST_BYTES} bytes "
-                f"without a newline; closing the connection")), sel)
-            self._flush(conn, sel)
-            self._close(conn, sel)
-
-    # -- request routing ---------------------------------------------------
-
-    def _route(self, conn, raw: bytes, sel, fast) -> None:
-        # inlined decode_request: json.loads accepts the raw bytes
-        # directly, skipping a per-line utf-8 decode + strip copy (the
-        # frames produced stay identical to the protocol module's)
-        if len(raw) > MAX_REQUEST_BYTES:
-            self._stage(conn, encode_frame(error_frame(
-                ERROR_TOO_LARGE,
-                f"request line is {len(raw)} bytes; the protocol "
-                f"accepts at most {MAX_REQUEST_BYTES}")), sel)
-            return
-        if not raw.strip():
-            return
-        try:
-            request = json.loads(raw)
-        except ValueError as exc:
-            self._stage(conn, encode_frame(error_frame(
-                ERROR_INVALID_JSON, f"invalid JSON: {exc}")), sel)
-            return
-        if isinstance(request, dict) and "features" in request \
-                and "rows" not in request and "kernel" not in request \
-                and request.get("cmd") is None:
-            req_id = request.get("id")
-            spec = request.get("model")
-            if spec is None:
-                classifier = self._default_classifier
-            else:
-                try:
-                    classifier = self.fleet.pool.peek(spec)
-                except FleetError as exc:
-                    self._stage(conn, encode_frame(error_frame(
-                        ERROR_BAD_REQUEST, str(exc), req_id)), sel)
-                    return
-            if classifier is not None:
-                features = request["features"]
-                # JSON already delivered plain numbers: a well-shaped
-                # list skips the generic _vectorize re-conversion (the
-                # batch np.asarray coerces to the identical float64s;
-                # non-numeric elements surface through the fallback in
-                # _execute_fast as typed bad_request frames)
-                if (type(features) is list
-                        and len(features) == len(
-                            classifier.feature_names_)):
-                    vector = features
-                else:
-                    try:
-                        vector = classifier._vectorize(features)
-                    except (MLError, TypeError, ValueError) as exc:
-                        self._stage(conn, encode_frame(error_frame(
-                            ERROR_BAD_REQUEST, str(exc), req_id)), sel)
-                        return
-                fast.append((conn, req_id, classifier, vector))
-                return
-            # not resident: the slow path loads it without blocking us
-        self._submit_slow(conn, request)
-
-    def _submit_slow(self, conn, request) -> None:
-        with self._lock:
-            self._slow_requests += 1
-
-        def run() -> None:
-            try:
-                frame = self.fleet.handle_request(request)
-            except Exception as exc:  # defensive: router answers errors
-                frame = error_frame(ERROR_INTERNAL,
-                                    f"internal error: {exc}",
-                                    request_id(request))
-            try:
-                encoded = encode_frame(frame)
-            except (TypeError, ValueError) as exc:
-                encoded = encode_frame(error_frame(
-                    ERROR_INTERNAL, f"internal error: {exc}",
-                    request_id(request)))
-            with self._lock:
-                self._completions.append((conn, encoded))
-            self._wake()
-
-        self._executor.submit(run)
-
-    def _drain_completions(self, sel) -> None:
-        while True:
-            with self._lock:
-                if not self._completions:
-                    return
-                conn, encoded = self._completions.popleft()
-            if not conn.closed:
-                self._stage(conn, encoded, sel)
-                self._flush(conn, sel)
-
-    def _execute_fast(self, chunk, sel) -> None:
-        groups: dict = {}
-        for item in chunk:
-            groups.setdefault(id(item[2]), []).append(item)
-        for items in groups.values():
-            classifier = items[0][2]
-            try:
-                X = np.asarray([vector for _, _, _, vector in items],
-                               dtype=np.float64)
-                predictions = classifier.predict_batch(X)
-            except Exception:
-                # mirror the MicroBatcher: a poisoned group falls back
-                # to per-row scoring so one bad row cannot fail others
-                # (and a non-numeric row gets its typed frame here)
-                for conn, req_id, clf, vector in items:
-                    try:
-                        prediction = clf.predict(vector)
-                    except (MLError, TypeError, ValueError) as exc:
-                        self._stage(conn, encode_frame(error_frame(
-                            ERROR_BAD_REQUEST, str(exc), req_id)), sel)
-                    except Exception as exc:
-                        self._stage(conn, encode_frame(error_frame(
-                            ERROR_INTERNAL, f"internal error: {exc}",
-                            req_id)), sel)
-                    else:
-                        self._stage(conn, encode_frame(ok_frame(
-                            {"prediction": int(prediction)}, req_id)),
-                            sel)
-                continue
-            for (conn, req_id, _, _), prediction in zip(
-                    items, predictions.tolist()):
-                self._stage(conn, _prediction_frame(req_id,
-                                                    int(prediction)),
-                            sel)
-        touched = {item[0] for item in chunk}
-        for conn in touched:
-            self._flush(conn, sel)
-        self._fast_rows += len(chunk)
-        self._fast_batches += 1
-        self._largest_fast_batch = max(self._largest_fast_batch,
-                                       len(chunk))
-
-    # -- writing -----------------------------------------------------------
-
-    def _stage(self, conn, encoded: str, sel) -> None:
-        # loop-thread only (completions are staged by the loop after
-        # draining the queue), so the counter needs no lock
-        if conn.closed:
-            return
-        conn.wbuf += encoded.encode("utf-8")
-        self._requests_served += 1
-
-    def _flush(self, conn, sel) -> None:
-        if conn.closed or not conn.wbuf:
-            return
-        try:
-            sent = conn.sock.send(conn.wbuf)
-        except (BlockingIOError, InterruptedError):
-            sent = 0
-        except OSError:
-            self._close(conn, sel)
-            return
-        if sent:
-            del conn.wbuf[:sent]
-        # toggle EVENT_WRITE interest only on actual transitions — the
-        # common full-write case costs zero selector calls per row
-        if conn.wbuf and not conn.want_write:
-            conn.want_write = True
-            try:
-                sel.modify(conn.sock,
-                           selectors.EVENT_READ | selectors.EVENT_WRITE,
-                           conn)
-            except (KeyError, ValueError):
-                pass  # raced with close
-        elif not conn.wbuf and conn.want_write:
-            conn.want_write = False
-            try:
-                sel.modify(conn.sock, selectors.EVENT_READ, conn)
-            except (KeyError, ValueError):
-                pass

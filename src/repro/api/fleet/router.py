@@ -15,11 +15,14 @@ wire::
 A request naming a key the pool cannot serve answers a typed
 ``unknown_model`` error frame; a malformed key spec answers
 ``bad_request``.  When a :class:`~repro.api.fleet.MicroBatcher` is
-attached, concurrent single-row ``{"features": ...}`` requests are
-coalesced into ``predict_batch`` calls — the async entry point
-(:meth:`ModelFleet.process_line_async`) completes them from the
-scheduler thread via a callback, which is how the daemon serves them
-with a single thread wake-up per request.
+attached, concurrent single-row ``{"features": ...}`` requests on the
+synchronous path are coalesced into ``predict_batch`` calls.
+
+Serving transports do not call this class directly any more: the
+unified transport core (:mod:`repro.api.transport`) wraps a fleet in a
+:class:`~repro.api.transport.RequestEngine`, which routes scoring and
+model-admin verbs here and handles server-level concerns (framing,
+size guards, the ``stats`` verb, event-loop coalescing) itself.
 """
 
 from __future__ import annotations
@@ -31,8 +34,6 @@ from repro.api.protocol import (
     ERROR_BAD_REQUEST,
     ERROR_INTERNAL,
     ERROR_UNKNOWN_MODEL,
-    decode_request,
-    encode_frame,
     error_frame,
     ok_frame,
     request_id,
@@ -157,46 +158,6 @@ class ModelFleet:
     def process_line(self, line: str) -> str | None:
         """Synchronous protocol turn (stdio serving, tests)."""
         return process_request_line(line, self.handle_request)
-
-    def process_line_async(self, line: str, respond) -> None:
-        """Protocol turn with deferred completion (the daemon path).
-
-        *respond(frame_str)* is called exactly once per answerable line
-        — inline for everything except micro-batched single-row
-        requests, which complete from the batch scheduler thread.
-        """
-        request, decode_error = decode_request(line)
-        if decode_error is not None:
-            respond(encode_frame(decode_error))
-            return
-        if request is None:
-            return
-        req_id = request_id(request)
-        if isinstance(request, dict) and self._batchable(request):
-            try:
-                classifier = self._resolve(request)
-                vector = classifier._vectorize(request["features"])
-            except Exception:
-                pass  # fall through to the synchronous path's answer
-            else:
-                def on_done(prediction, error) -> None:
-                    if error is None:
-                        frame = ok_frame({"prediction": prediction},
-                                         req_id)
-                    else:
-                        frame = error_frame(ERROR_INTERNAL,
-                                            f"internal error: {error}",
-                                            req_id)
-                    respond(encode_frame(frame))
-
-                try:
-                    self.batcher.submit(classifier, vector, on_done)
-                    return
-                except FleetError:
-                    pass  # batcher closed/overloaded: serve unbatched
-        response = process_request_line(line, self.handle_request)
-        if response is not None:
-            respond(response)
 
     # -- lifecycle / introspection -----------------------------------------
 

@@ -47,6 +47,13 @@ ERROR_CODES = (
 #: JSON-parsing unbounded input.
 MAX_REQUEST_BYTES = 16 * 1024 * 1024
 
+#: upper bound on one response line, enforced *client-side* by
+#: :class:`repro.api.client.ScoringClient`: a misbehaving or
+#: desynchronized server streaming bytes without a newline must not
+#: grow the client's receive buffer without limit.  Mirrors the
+#: server-side request guard.
+MAX_RESPONSE_BYTES = MAX_REQUEST_BYTES
+
 
 def request_id(request) -> object | None:
     """The correlation id of a decoded request, if it carries one."""

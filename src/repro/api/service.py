@@ -21,15 +21,16 @@ for batches, ``"info"`` for info) or typed error frames
 :mod:`repro.api.protocol` for the code vocabulary); a malformed line
 never kills the service.
 
-The frame codec lives in :mod:`repro.api.protocol` and
-:func:`process_line` is transport-agnostic, so the stdin/stdout loop
-here and the socket daemon in :mod:`repro.api.daemon` serve
-byte-identical responses for the same requests.
+The frame codec lives in :mod:`repro.api.protocol`; the dispatch and
+framing shell shared by every transport lives in
+:mod:`repro.api.transport`, so the stdin/stdout loop here and the
+socket daemons in :mod:`repro.api.daemon` serve byte-identical
+responses for the same requests.  This module keeps the single-model
+request semantics (:func:`handle_request`) and the text-line protocol
+shell (:func:`process_request_line`) the transport core builds on.
 """
 
 from __future__ import annotations
-
-import sys
 
 from repro.api.classifier import Classifier
 from repro.api.protocol import (
@@ -119,23 +120,25 @@ def process_line(classifier: Classifier, line: str) -> str | None:
 def serve(scorer, stdin=None, stdout=None) -> int:
     """Serve JSON-lines requests until EOF; returns requests handled.
 
-    *scorer* is a fitted :class:`Classifier`, or any object exposing a
-    ``process_line(line) -> str | None`` method (duck-typed so the
-    multi-model :class:`repro.api.fleet.ModelFleet` plugs in without an
-    import cycle).
+    *scorer* is a fitted :class:`Classifier`, a multi-model
+    :class:`repro.api.fleet.ModelFleet`, an already-built
+    :class:`repro.api.transport.RequestEngine`, or — the legacy
+    duck-typed extension point — any object exposing a
+    ``process_line(line) -> str | None`` method.  Engine-backed
+    scorers dispatch through the unified transport core, so the stdio
+    loop answers the exact frames the socket daemons would — including
+    the ``{"cmd": "stats"}`` admin verb.
     """
-    stdin = stdin if stdin is not None else sys.stdin
-    stdout = stdout if stdout is not None else sys.stdout
-    if hasattr(scorer, "process_line"):
-        process = scorer.process_line
+    # function-local import: transport layers on top of this module
+    from repro.api.transport import RequestEngine, serve_lines, serve_stdio
+
+    if isinstance(scorer, RequestEngine):
+        engine = scorer
+    elif hasattr(scorer, "handle_request") or \
+            not hasattr(scorer, "process_line"):
+        engine = RequestEngine(scorer)
     else:
-        process = lambda line: process_line(scorer, line)  # noqa: E731
-    handled = 0
-    for line in stdin:
-        response = process(line)
-        if response is None:
-            continue
-        stdout.write(response)
-        stdout.flush()
-        handled += 1
-    return handled
+        # an embedder's custom scorer with only process_line: drive
+        # its own line handler instead of misreading it as a classifier
+        return serve_lines(scorer.process_line, stdin, stdout)
+    return serve_stdio(engine, stdin, stdout)

@@ -1,0 +1,876 @@
+"""The unified transport core: one server stack, three thin adapters.
+
+Before this module existed the repo carried **three** parallel serving
+implementations — the stdio loop in :mod:`repro.api.service`, the
+thread-pool socket daemon in :mod:`repro.api.daemon`, and the selectors
+event loop in ``repro.api.fleet.eventloop`` — each re-implementing
+framing, dispatch and error handling around the shared codec.  This
+module is the single engine they all dispatch through now:
+
+* :class:`RequestEngine` — scorer-agnostic dispatch.  Wraps either a
+  fitted :class:`repro.api.Classifier` or a multi-model
+  :class:`repro.api.fleet.ModelFleet` behind one ``request -> frame``
+  surface, owns the protocol shell (decode, typed error frames, the
+  ``MAX_REQUEST_BYTES`` guard, ``internal`` catch-alls), the
+  server-level ``{"cmd": "stats"}`` admin verb, and the micro-batch
+  fast path (:meth:`RequestEngine.fast_path` /
+  :meth:`RequestEngine.execute_fast`) the event loop coalesces with.
+* :class:`LineSplitter` — newline framing over a raw byte stream with
+  the protocol's flood guard, shared by every socket transport.
+* :class:`ThreadedServer` — the thread-per-connection transport
+  (accept loop, worker semaphore, bounded backpressure through the
+  kernel listen backlog).
+* :class:`EventLoopServer` — the selectors transport (one IO thread,
+  adaptive request coalescing, a worker pool for slow verbs,
+  per-connection write buffers with ``EVENT_WRITE`` flow control).
+* :func:`serve_stdio` — the stdin/stdout loop behind ``repro serve``.
+
+All three adapters produce **byte-identical frames** for the same
+requests because every line funnels through the same engine;
+regression-tested in ``tests/test_transport.py``.  The transports own
+sockets and threads only — they never interpret a request themselves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import selectors
+import socket
+import sys
+import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.api import service as _service
+from repro.api.protocol import (
+    ERROR_BAD_REQUEST,
+    ERROR_INTERNAL,
+    ERROR_INVALID_JSON,
+    ERROR_TOO_LARGE,
+    MAX_REQUEST_BYTES,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    request_id,
+)
+from repro.errors import FleetError, MLError
+
+#: bytes read per ``recv`` on a readable connection.
+RECV_BYTES = 262144
+
+#: default worker count for the socket transports.
+DEFAULT_WORKERS = 16
+
+
+def _prediction_frame(req_id, prediction: int) -> str:
+    """An encoded single-prediction success frame.
+
+    Byte-identical to ``encode_frame(ok_frame(...))`` but skips the
+    dict build and ``json.dumps`` for the int/absent request ids every
+    sane client sends — a few µs per row that matter at tens of
+    thousands of rows per second.
+    """
+    if req_id is None:
+        return '{"ok": true, "prediction": %d}\n' % prediction
+    if type(req_id) is int:
+        return '{"ok": true, "id": %d, "prediction": %d}\n' % (
+            req_id, prediction)
+    return encode_frame(ok_frame({"prediction": prediction}, req_id))
+
+
+def _too_large_frame(n_bytes: int) -> dict:
+    return error_frame(
+        ERROR_TOO_LARGE,
+        f"request line is {n_bytes} bytes; the protocol "
+        f"accepts at most {MAX_REQUEST_BYTES}")
+
+
+def _flood_frame() -> dict:
+    return error_frame(
+        ERROR_TOO_LARGE,
+        f"request line exceeds {MAX_REQUEST_BYTES} bytes "
+        f"without a newline; closing the connection")
+
+
+def decode_raw(raw: bytes):
+    """Decode one raw byte line — THE framing shell of every socket path.
+
+    Returns ``(request, None)`` on success, ``(None, error_frame)``
+    for oversized or malformed lines and ``(None, None)`` for blank
+    lines.  The bytes twin of :func:`repro.api.protocol.decode_request`
+    (``json.loads`` accepts the bytes directly, skipping a per-line
+    utf-8 decode + copy; the frames produced are byte-identical).
+    """
+    if len(raw) > MAX_REQUEST_BYTES:
+        return None, _too_large_frame(len(raw))
+    raw = raw.strip()
+    if not raw:
+        return None, None
+    try:
+        return json.loads(raw), None
+    except ValueError as exc:
+        return None, error_frame(ERROR_INVALID_JSON,
+                                 f"invalid JSON: {exc}")
+
+
+class LineSplitter:
+    """Newline framing over a byte stream, with the protocol flood guard.
+
+    Feed raw ``recv`` chunks in, get complete (newline-stripped) lines
+    out.  When more than *max_bytes* accumulate without a newline the
+    splitter flags :attr:`overflowed` — the stream cannot be
+    resynchronized to a line boundary, so the owning transport answers
+    one typed ``too_large`` frame and drops the connection.  Shared by
+    both socket transports (and mirrored client-side by
+    :class:`repro.api.client.ScoringClient`'s response bound).
+    """
+
+    __slots__ = ("buf", "max_bytes", "overflowed")
+
+    def __init__(self, max_bytes: int = MAX_REQUEST_BYTES) -> None:
+        self.buf = bytearray()
+        self.max_bytes = max_bytes
+        self.overflowed = False
+
+    def feed(self, data: bytes) -> list:
+        """Absorb *data*; return the complete lines it unlocked."""
+        self.buf += data
+        lines: list = []
+        while True:
+            idx = self.buf.find(b"\n")
+            if idx < 0:
+                break
+            lines.append(bytes(self.buf[:idx]))
+            del self.buf[:idx + 1]
+        if len(self.buf) > self.max_bytes:
+            self.overflowed = True
+        return lines
+
+
+class RequestEngine:
+    """Scorer-agnostic protocol dispatch: one engine, every transport.
+
+    *scorer* is either a fitted :class:`repro.api.Classifier` or any
+    object exposing ``handle_request(request) -> frame`` plus
+    ``stats()`` (duck-typed so :class:`repro.api.fleet.ModelFleet`
+    plugs in without an import cycle).  The engine owns:
+
+    * request dispatch (:meth:`handle`), including the server-level
+      ``{"cmd": "stats"}`` admin verb;
+    * the protocol shell for both text lines (:meth:`process_line`,
+      the stdio path) and raw byte lines (:meth:`process_raw`, the
+      socket paths) — size guard, typed ``invalid_json`` /
+      ``too_large`` / ``internal`` frames, blank-line skipping;
+    * the micro-batch fast path: :meth:`fast_path` classifies a
+      decoded request as coalescible and :meth:`execute_fast` scores a
+      coalesced chunk with per-row fallback, so batching behaves
+      identically wherever it is driven from.
+    """
+
+    def __init__(self, scorer) -> None:
+        if hasattr(scorer, "handle_request"):
+            self.fleet = scorer
+            self.classifier = None
+            self._default_classifier = None  # primed lazily (pool peek)
+        else:
+            self.fleet = None
+            self.classifier = scorer
+            self._default_classifier = scorer
+        self._stats_sources: dict = {}
+
+    # -- introspection -----------------------------------------------------
+
+    def add_stats_source(self, name: str, source) -> None:
+        """Register a named callable contributing to the stats verb."""
+        self._stats_sources[name] = source
+
+    def stats(self) -> dict:
+        """The stats tree: every registered source plus scorer stats."""
+        stats: dict = {}
+        for name, source in self._stats_sources.items():
+            stats[name] = source()
+        if self.fleet is not None and hasattr(self.fleet, "stats"):
+            stats["fleet"] = self.fleet.stats()
+        return stats
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle(self, request) -> dict:
+        """One decoded request to one response frame."""
+        if isinstance(request, dict) and request.get("cmd") == "stats":
+            return ok_frame({"stats": self.stats()}, request_id(request))
+        if self.fleet is not None:
+            return self.fleet.handle_request(request)
+        # late-bound module attribute so tests (and embedders) can
+        # substitute the single-model handler
+        return _service.handle_request(self.classifier, request)
+
+    def process_line(self, line: str) -> str | None:
+        """One protocol turn over a text line (the stdio path)."""
+        return _service.process_request_line(line, self.handle)
+
+    def process_raw(self, raw: bytes) -> str | None:
+        """One protocol turn over a raw byte line (the socket paths).
+
+        Framing through :func:`decode_raw`, so the frames produced are
+        byte-identical to :meth:`process_line` on the same content.
+        """
+        request, decode_error = decode_raw(raw)
+        if decode_error is not None:
+            return encode_frame(decode_error)
+        if request is None:
+            return None
+        try:
+            return encode_frame(self.handle(request))
+        except Exception as exc:
+            return encode_frame(error_frame(ERROR_INTERNAL,
+                                            f"internal error: {exc}",
+                                            request_id(request)))
+
+    # -- the micro-batch fast path -----------------------------------------
+
+    def prime(self) -> None:
+        """Resolve the default model once (fleet pools pin it, so one
+        lookup outlives the server — the per-request pool lock and LRU
+        touch are reserved for requests that name a model)."""
+        if self.fleet is not None and hasattr(self.fleet, "pool"):
+            self._default_classifier = self.fleet.pool.peek(None)
+
+    def fast_path(self, request):
+        """Classify a decoded request for coalesced batch scoring.
+
+        Returns ``None`` when the request must take the slow path
+        (anything but a single-row ``{"features": ...}`` request, or a
+        model that is not resident — loading must never block an IO
+        thread), ``("error", frame)`` for inline-answerable validation
+        failures, and ``("fast", classifier, req_id, vector)`` for a
+        coalescible row.
+        """
+        if not (isinstance(request, dict) and "features" in request
+                and "rows" not in request and "kernel" not in request
+                and request.get("cmd") is None):
+            return None
+        req_id = request.get("id")
+        spec = request.get("model")
+        if spec is None or self.fleet is None:
+            # single-model engines ignore the model field, exactly like
+            # the single-model handler they front
+            classifier = self._default_classifier
+        else:
+            try:
+                classifier = self.fleet.pool.peek(spec)
+            except FleetError as exc:
+                return ("error", error_frame(ERROR_BAD_REQUEST,
+                                             str(exc), req_id))
+        if classifier is None:
+            return None  # not resident: the slow path loads it
+        features = request["features"]
+        # JSON already delivered plain numbers: a well-shaped list
+        # skips the generic _vectorize re-conversion (the batch
+        # np.asarray coerces to the identical float64s; non-numeric
+        # elements surface through the fallback in execute_fast as
+        # typed bad_request frames)
+        if (type(features) is list
+                and len(features) == len(classifier.feature_names_)):
+            vector = features
+        else:
+            try:
+                vector = classifier._vectorize(features)
+            except (MLError, TypeError, ValueError) as exc:
+                return ("error", error_frame(ERROR_BAD_REQUEST,
+                                             str(exc), req_id))
+        return ("fast", classifier, req_id, vector)
+
+    def execute_fast(self, items, emit) -> None:
+        """Score coalesced fast-path rows; answer through *emit*.
+
+        *items* are ``(token, req_id, classifier, vector)`` tuples
+        (the token is opaque transport state — a connection);
+        ``emit(token, encoded_frame)`` is called exactly once per item.
+        Rows are grouped per classifier into single ``predict_batch``
+        calls; a poisoned group falls back to per-row scoring so one
+        bad row cannot fail the others.
+        """
+        groups: dict = {}
+        for item in items:
+            groups.setdefault(id(item[2]), []).append(item)
+        for group in groups.values():
+            classifier = group[0][2]
+            try:
+                X = np.asarray([vector for _, _, _, vector in group],
+                               dtype=np.float64)
+                predictions = classifier.predict_batch(X)
+            except Exception:
+                for token, req_id, clf, vector in group:
+                    try:
+                        prediction = clf.predict(vector)
+                    except (MLError, TypeError, ValueError) as exc:
+                        emit(token, encode_frame(error_frame(
+                            ERROR_BAD_REQUEST, str(exc), req_id)))
+                    except Exception as exc:
+                        emit(token, encode_frame(error_frame(
+                            ERROR_INTERNAL, f"internal error: {exc}",
+                            req_id)))
+                    else:
+                        emit(token, encode_frame(ok_frame(
+                            {"prediction": int(prediction)}, req_id)))
+                continue
+            for (token, req_id, _, _), prediction in zip(
+                    group, predictions.tolist()):
+                emit(token, _prediction_frame(req_id, int(prediction)))
+
+
+def serve_lines(process, stdin=None, stdout=None) -> int:
+    """Drive a ``line -> response | None`` handler over stdio.
+
+    THE stdio loop — both engine-backed serving (:func:`serve_stdio`)
+    and the legacy duck-typed ``process_line`` scorers of
+    :func:`repro.api.service.serve` run through it.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    handled = 0
+    for line in stdin:
+        response = process(line)
+        if response is None:
+            continue
+        stdout.write(response)
+        stdout.flush()
+        handled += 1
+    return handled
+
+
+def serve_stdio(engine: RequestEngine, stdin=None, stdout=None) -> int:
+    """Serve JSON-lines requests until EOF; returns requests handled."""
+    return serve_lines(engine.process_line, stdin, stdout)
+
+
+class ThreadedServer:
+    """Thread-per-connection transport over a bound, listening socket.
+
+    The PR 3 serving model, now a thin adapter: one acceptor thread, a
+    worker pool, and a semaphore slot per worker so excess clients wait
+    in the kernel listen backlog instead of an unbounded internal
+    queue.  Every line a connection delivers goes through
+    ``engine.process_raw`` — the same dispatch the event loop and the
+    stdio loop use.  Stopping the server closes the listener.
+    """
+
+    def __init__(self, engine: RequestEngine,
+                 listener: socket.socket,
+                 workers: int = DEFAULT_WORKERS) -> None:
+        self.engine = engine
+        self.listener = listener
+        self.workers = max(1, int(workers))
+        self._pool: ThreadPoolExecutor | None = None
+        self._acceptor: threading.Thread | None = None
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._connections: set = set()
+        self._slots: threading.Semaphore | None = None
+        self._requests_served = 0
+        self._connections_served = 0
+
+    def start(self) -> "ThreadedServer":
+        # a bounded accept timeout guarantees the acceptor re-checks
+        # the stop flag even on platforms where closing a listener does
+        # not wake a blocked accept()
+        self.listener.settimeout(0.5)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-score",
+        )
+        self._slots = threading.Semaphore(self.workers)
+        self._acceptor = threading.Thread(
+            target=self._accept_loop,
+            name="repro-accept",
+            daemon=True,
+        )
+        self._acceptor.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop accepting, close live connections, drain the pool."""
+        self._stopping.set()
+        try:
+            # shutdown() (unlike close()) wakes a blocked accept() on
+            # Linux; the accept timeout covers platforms where it won't
+            self.listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+        if self._acceptor is not None:
+            self._acceptor.join(timeout)
+            self._acceptor = None
+        with self._lock:
+            live = list(self._connections)
+        for conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "transport": "threads",
+                "requests_served": self._requests_served,
+                "connections_served": self._connections_served,
+                "active_connections": len(self._connections),
+                "workers": self.workers,
+            }
+
+    def _accept_loop(self) -> None:
+        # a semaphore slot per worker: accept only when a worker can
+        # actually serve the connection
+        while not self._stopping.is_set():
+            if not self._slots.acquire(timeout=0.5):
+                continue  # all workers busy; re-check the stop flag
+            conn = None
+            while not self._stopping.is_set():
+                try:
+                    conn, _ = self.listener.accept()
+                    break
+                except socket.timeout:
+                    continue  # periodic stop-flag check
+                except OSError:
+                    break  # listener closed by stop()
+            if conn is None or self._stopping.is_set():
+                self._slots.release()
+                if conn is not None:
+                    conn.close()
+                break
+            with self._lock:
+                self._connections.add(conn)
+            self._pool.submit(self._serve_connection, conn)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """One client session: read lines, answer frames, until EOF."""
+        splitter = LineSplitter()
+        try:
+            while not self._stopping.is_set():
+                data = conn.recv(RECV_BYTES)
+                if not data:
+                    # EOF: answer a final line the client sent without
+                    # a trailing newline (a shutdown(SHUT_WR) client
+                    # still reads the response) — stdio serving does
+                    # the same, keeping the paths byte-identical
+                    tail = bytes(splitter.buf)
+                    splitter.buf.clear()
+                    if tail.strip() and not splitter.overflowed:
+                        response = self.engine.process_raw(tail)
+                        if response is not None:
+                            conn.sendall(response.encode("utf-8"))
+                            with self._lock:
+                                self._requests_served += 1
+                    break
+                for raw in splitter.feed(data):
+                    # process_raw answers every failure mode itself
+                    # (invalid JSON, bad requests, internal errors with
+                    # the request id preserved) — it does not raise
+                    response = self.engine.process_raw(raw)
+                    if response is None:
+                        continue
+                    conn.sendall(response.encode("utf-8"))
+                    with self._lock:
+                        self._requests_served += 1
+                if splitter.overflowed:
+                    # a newline-less flood: answer once, then drop the
+                    # stream (it cannot be resynchronized)
+                    conn.sendall(
+                        encode_frame(_flood_frame()).encode("utf-8"))
+                    break
+        except OSError:
+            pass  # client went away mid-session; nothing to answer
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+                self._connections_served += 1
+            try:
+                conn.close()
+            except OSError:
+                pass
+            self._slots.release()
+
+
+class _Connection:
+    """Per-socket state owned by the loop thread (no locking needed)."""
+
+    __slots__ = ("sock", "splitter", "wbuf", "closed", "want_write",
+                 "eof", "pending")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.splitter = LineSplitter()
+        self.wbuf = bytearray()
+        self.closed = False
+        self.want_write = False  # EVENT_WRITE interest is registered
+        self.eof = False  # half-closed: finish answering, then close
+        self.pending = 0  # routed requests not yet staged
+
+
+class EventLoopServer:
+    """Serve a :class:`RequestEngine` from one selectors IO thread.
+
+    Thread-per-connection serving spends most of each request's budget
+    on thread hand-offs, buffered-IO layers and GIL churn; this
+    transport removes the overhead instead of amortizing a slice of it:
+
+    * **one IO thread** owns every socket: it accepts, reads, splits
+      lines, and is the *only* writer, so there are no per-request
+      thread wake-ups and no locks on the hot path;
+    * every select round drains all readable connections and gathers
+      their eligible single-row requests (``engine.fast_path``) into
+      coalesced ``engine.execute_fast`` calls bounded by ``max_batch``
+      — the batching window is *adaptive*: it is exactly the time the
+      previous round spent scoring and writing, so a lone client is
+      never delayed and 16 concurrent clients coalesce to ~16-row
+      batches automatically;
+    * everything else — kernel simulation, explicit batches, admin
+      verbs, cold-model loads — is handed to a small worker pool
+      through ``engine.handle``; completed frames come back through a
+      queue and a self-pipe wake-up, and the loop writes them.
+
+    *listener* is a bound, listening socket; stopping the server
+    closes it along with every accepted connection unless
+    ``close_listener=False`` leaves its lifetime to the caller.
+    """
+
+    def __init__(self, engine: RequestEngine, listener: socket.socket,
+                 workers: int = 4, max_batch: int = 64,
+                 close_listener: bool = True) -> None:
+        self.engine = engine
+        self.listener = listener
+        self.close_listener = close_listener
+        self.max_batch = max(1, int(max_batch))
+        self._workers = max(1, int(workers))
+        self._stopping = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._wake_r, self._wake_w = os.pipe()
+        os.set_blocking(self._wake_r, False)
+        os.set_blocking(self._wake_w, False)
+        self._completions: deque = deque()  # (conn, encoded-frame str)
+        self._lock = threading.Lock()       # completions + counters
+        self._requests_served = 0
+        self._connections_served = 0
+        self._active = 0
+        self._fast_rows = 0
+        self._fast_batches = 0
+        self._largest_fast_batch = 0
+        self._slow_requests = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "EventLoopServer":
+        self.listener.setblocking(False)
+        self.engine.prime()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-slow")
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-ioloop", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self._stopping.set()
+        self._wake()
+        self._thread.join(timeout)
+        self._thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        for fd in (self._wake_r, self._wake_w):
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        if self.close_listener:
+            try:
+                self.listener.close()
+            except OSError:
+                pass
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"\0")
+        except (OSError, ValueError):
+            pass  # pipe full (a wake-up is already pending) or closed
+
+    def stats(self) -> dict:
+        with self._lock:
+            fast_rows, fast_batches = self._fast_rows, self._fast_batches
+            return {
+                "transport": "eventloop",
+                "requests_served": self._requests_served,
+                "connections_served": self._connections_served,
+                "active_connections": self._active,
+                "fast_rows": fast_rows,
+                "fast_batches": fast_batches,
+                "mean_fast_batch": (round(fast_rows / fast_batches, 2)
+                                    if fast_batches else 0.0),
+                "largest_fast_batch": self._largest_fast_batch,
+                "slow_requests": self._slow_requests,
+                "max_batch": self.max_batch,
+            }
+
+    # -- the loop ----------------------------------------------------------
+
+    def _run(self) -> None:
+        sel = selectors.DefaultSelector()
+        sel.register(self.listener, selectors.EVENT_READ, None)
+        sel.register(self._wake_r, selectors.EVENT_READ, None)
+        self._conns: set = set()
+        try:
+            while not self._stopping.is_set():
+                fast: list = []
+                events = sel.select(timeout=0.5)
+                if self._stopping.is_set():
+                    break
+                self._dispatch(events, sel, fast)
+                # greedy top-up: whatever arrived while this round was
+                # being read joins the same batch — but never wait
+                while fast and len(fast) < self.max_batch:
+                    more = sel.select(timeout=0)
+                    if not more:
+                        break
+                    self._dispatch(more, sel, fast)
+                self._drain_completions(sel)
+                while fast:
+                    chunk, fast = fast[:self.max_batch], \
+                        fast[self.max_batch:]
+                    self._execute_fast(chunk, sel)
+        finally:
+            for conn in list(self._conns):
+                self._close(conn, sel)
+            try:
+                sel.unregister(self.listener)
+            except (KeyError, ValueError):
+                pass
+            sel.close()
+
+    def _dispatch(self, events, sel, fast) -> None:
+        for key, mask in events:
+            if key.fileobj is self.listener:
+                self._accept(sel)
+            elif key.fileobj == self._wake_r:
+                try:
+                    os.read(self._wake_r, 4096)
+                except OSError:
+                    pass
+            else:
+                conn = key.data
+                if mask & selectors.EVENT_WRITE:
+                    self._flush(conn, sel)
+                if mask & selectors.EVENT_READ and not conn.closed:
+                    self._read(conn, sel, fast)
+
+    def _accept(self, sel) -> None:
+        while True:
+            try:
+                sock, _ = self.listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed under us (stop())
+            sock.setblocking(False)
+            conn = _Connection(sock)
+            self._conns.add(conn)
+            sel.register(sock, selectors.EVENT_READ, conn)
+            with self._lock:
+                self._connections_served += 1
+                self._active = len(self._conns)
+
+    def _close(self, conn, sel) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._conns.discard(conn)
+        try:
+            sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        with self._lock:
+            self._active = len(self._conns)
+
+    def _read(self, conn, sel, fast) -> None:
+        try:
+            data = conn.sock.recv(RECV_BYTES)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            # half-close (or disconnect): route a final line the
+            # client sent without a trailing newline through the
+            # normal fast/slow machinery, then close once every
+            # outstanding answer has been staged and written — a
+            # shutdown(SHUT_WR) client still reads all its responses
+            tail = bytes(conn.splitter.buf)
+            conn.splitter.buf.clear()
+            if tail.strip() and not conn.splitter.overflowed:
+                self._route(conn, tail, sel, fast)
+            conn.eof = True
+            # drop read interest: a half-closed socket stays readable
+            # forever and would spin the loop; completions wake it via
+            # the self-pipe and _flush re-registers write interest
+            try:
+                sel.unregister(conn.sock)
+            except (KeyError, ValueError):
+                pass
+            conn.want_write = False
+            self._flush(conn, sel)
+            self._maybe_finish(conn, sel)
+            return
+        for raw in conn.splitter.feed(data):
+            self._route(conn, raw, sel, fast)
+        # inline answers (decode/validation error frames) don't pass
+        # through execute_fast or the completion queue: flush them now
+        self._flush(conn, sel)
+        if conn.splitter.overflowed:
+            # a newline-less flood: answer once, then drop the stream
+            # (it cannot be resynchronized to a line boundary)
+            self._stage(conn, encode_frame(_flood_frame()), sel)
+            self._flush(conn, sel)
+            self._close(conn, sel)
+
+    # -- request routing ---------------------------------------------------
+
+    def _route(self, conn, raw: bytes, sel, fast) -> None:
+        request, decode_error = decode_raw(raw)
+        if decode_error is not None:
+            self._stage(conn, encode_frame(decode_error), sel)
+            return
+        if request is None:
+            return
+        verdict = self.engine.fast_path(request)
+        if verdict is None:
+            conn.pending += 1
+            self._submit_slow(conn, request)
+            return
+        if verdict[0] == "error":
+            self._stage(conn, encode_frame(verdict[1]), sel)
+            return
+        _, classifier, req_id, vector = verdict
+        conn.pending += 1
+        fast.append((conn, req_id, classifier, vector))
+
+    def _submit_slow(self, conn, request) -> None:
+        with self._lock:
+            self._slow_requests += 1
+
+        def run() -> None:
+            try:
+                frame = self.engine.handle(request)
+            except Exception as exc:  # defensive: handle answers errors
+                frame = error_frame(ERROR_INTERNAL,
+                                    f"internal error: {exc}",
+                                    request_id(request))
+            try:
+                encoded = encode_frame(frame)
+            except (TypeError, ValueError) as exc:
+                encoded = encode_frame(error_frame(
+                    ERROR_INTERNAL, f"internal error: {exc}",
+                    request_id(request)))
+            with self._lock:
+                self._completions.append((conn, encoded))
+            self._wake()
+
+        self._executor.submit(run)
+
+    def _drain_completions(self, sel) -> None:
+        while True:
+            with self._lock:
+                if not self._completions:
+                    return
+                conn, encoded = self._completions.popleft()
+            conn.pending -= 1
+            if not conn.closed:
+                self._stage(conn, encoded, sel)
+                self._flush(conn, sel)
+                self._maybe_finish(conn, sel)
+
+    def _execute_fast(self, chunk, sel) -> None:
+        def emit(conn, encoded: str) -> None:
+            conn.pending -= 1
+            self._stage(conn, encoded, sel)
+
+        self.engine.execute_fast(chunk, emit)
+        touched = {item[0] for item in chunk}
+        for conn in touched:
+            self._flush(conn, sel)
+            self._maybe_finish(conn, sel)
+        self._fast_rows += len(chunk)
+        self._fast_batches += 1
+        self._largest_fast_batch = max(self._largest_fast_batch,
+                                       len(chunk))
+
+    # -- writing -----------------------------------------------------------
+
+    def _stage(self, conn, encoded: str, sel) -> None:
+        # loop-thread only (completions are staged by the loop after
+        # draining the queue), so the counter needs no lock
+        if conn.closed:
+            return
+        conn.wbuf += encoded.encode("utf-8")
+        self._requests_served += 1
+
+    def _flush(self, conn, sel) -> None:
+        if conn.closed or not conn.wbuf:
+            return
+        try:
+            sent = conn.sock.send(conn.wbuf)
+        except (BlockingIOError, InterruptedError):
+            sent = 0
+        except OSError:
+            self._close(conn, sel)
+            return
+        if sent:
+            del conn.wbuf[:sent]
+        # toggle EVENT_WRITE interest only on actual transitions — the
+        # common full-write case costs zero selector calls per row.
+        # half-closed (eof) connections are no longer registered for
+        # reads, so their transitions use register/unregister instead
+        if conn.wbuf and not conn.want_write:
+            conn.want_write = True
+            try:
+                if conn.eof:
+                    sel.register(conn.sock, selectors.EVENT_WRITE, conn)
+                else:
+                    sel.modify(conn.sock,
+                               selectors.EVENT_READ
+                               | selectors.EVENT_WRITE,
+                               conn)
+            except (KeyError, ValueError):
+                pass  # raced with close
+        elif not conn.wbuf and conn.want_write:
+            conn.want_write = False
+            try:
+                if conn.eof:
+                    sel.unregister(conn.sock)
+                else:
+                    sel.modify(conn.sock, selectors.EVENT_READ, conn)
+            except (KeyError, ValueError):
+                pass
+        self._maybe_finish(conn, sel)
+
+    def _maybe_finish(self, conn, sel) -> None:
+        """Close a half-closed connection once fully answered."""
+        if (conn.eof and not conn.closed and not conn.wbuf
+                and conn.pending == 0):
+            self._close(conn, sel)

@@ -19,6 +19,7 @@ Examples::
     repro serve --socket /tmp/repro.sock \\
         --models forest:static-all,tree:static-agg --preload \\
         --max-batch 64 --max-delay-us 2000 --memory-budget-mb 64
+    repro serve --socket /tmp/repro.sock --shards 4
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) runs the labelling campaign on N
 worker processes; ``--jobs 0`` uses every CPU.  The on-disk simulation
@@ -39,7 +40,9 @@ a ``"model"`` key, ``--models``/``--preload`` warm-load extra variants
 at startup, ``--memory-budget-mb``/``--max-models`` bound the resident
 set with LRU eviction, and ``--max-batch``/``--max-delay-us`` tune the
 micro-batching that coalesces concurrent single-row requests into
-batched predictions.
+batched predictions.  ``--shards N`` scales the daemon to N processes
+behind one endpoint (``SO_REUSEPORT`` on TCP, a shard registry on unix
+sockets — see :mod:`repro.api.shard`).
 """
 
 from __future__ import annotations
@@ -49,13 +52,11 @@ import sys
 
 from repro.api import (
     Classifier,
-    MicroBatcher,
-    ModelFleet,
-    ModelPool,
     ReproConfig,
     ScoringDaemon,
     active_profile,
     artifact_path,
+    fleet_factory,
     load_or_train,
     parse_tcp_endpoint,
     serve,
@@ -64,7 +65,6 @@ from repro.api.daemon import DEFAULT_WORKERS
 from repro.api.fleet import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_DELAY_US,
-    cache_loader,
 )
 from repro.api.registry import (
     available_feature_sets,
@@ -143,6 +143,69 @@ def _add_variant_opts(parser: argparse.ArgumentParser) -> None:
                         help="feature set for the default model when "
                              "no --model artifact is given: "
                              + ", ".join(available_feature_sets()))
+
+
+def _serve_sharded(args, profile: str, progress) -> int:
+    """``repro serve --shards N``: one fleet daemon per process.
+
+    The parent warms the artifact cache once (default model plus any
+    ``--models`` specs when ``--preload`` is set) so the N shard
+    processes all load from disk instead of racing N training
+    campaigns, then hands off to :class:`repro.api.ShardManager` and
+    blocks until Ctrl-C.
+    """
+    import functools
+    import threading
+
+    from repro.api.fleet.pool import ModelKey
+    from repro.api.shard import ShardManager
+
+    specs = tuple(s.strip() for s in (args.models or "").split(",")
+                  if s.strip())
+    if not args.model:
+        _load_or_train(args, profile, progress)  # warm the cache once
+    if args.preload:
+        for spec in specs:
+            key = ModelKey.parse(spec, default_tag=profile)
+            config = ReproConfig(profile=key.dataset_tag,
+                                 model=key.family,
+                                 feature_set=key.feature_set)
+            _, hit = load_or_train(config, progress=progress)
+            print(f"{'cached' if hit else 'trained'} shard model "
+                  f"{key.spec}", file=sys.stderr)
+    budget = (int(args.memory_budget_mb * 1024 * 1024)
+              if args.memory_budget_mb else None)
+    factory = functools.partial(
+        fleet_factory,
+        model_path=args.model,
+        profile=profile,
+        family=getattr(args, "family", "tree"),
+        feature_set=getattr(args, "features", "static-all"),
+        models=specs,
+        preload=args.preload,
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+        memory_budget_bytes=budget,
+        max_models=args.max_models,
+    )
+    tcp = parse_tcp_endpoint(args.tcp) if args.tcp else None
+    manager = ShardManager(factory, shards=args.shards,
+                           socket_path=args.socket, tcp=tcp,
+                           workers=args.workers)
+    manager.start()
+    endpoint = ":".join(str(p) for p in manager.address[1:])
+    print(f"sharded scoring daemon: {args.shards} shard(s) listening "
+          f"on {manager.address[0]} {endpoint} "
+          f"(pids {', '.join(str(p) for p in manager.pids)}); "
+          f"Ctrl-C stops cleanly", file=sys.stderr)
+    try:
+        threading.Event().wait()  # until Ctrl-C
+    except KeyboardInterrupt:
+        pass
+    finally:
+        manager.stop()
+        print(f"stopped {args.shards} shard(s) cleanly", file=sys.stderr)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -259,6 +322,11 @@ def main(argv=None) -> int:
     srv.add_argument("--max-models", type=int, default=None,
                      help="evict least-recently-used unpinned models "
                           "beyond this count (default: unbounded)")
+    srv.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="serve N daemon processes behind the one "
+                          "endpoint (SO_REUSEPORT on --tcp, a shard "
+                          "registry on --socket; default 1, daemon "
+                          "mode only)")
     _add_dataset_opts(srv)
 
     args = parser.parse_args(argv)
@@ -321,23 +389,32 @@ def main(argv=None) -> int:
         return 0
 
     if args.command == "serve":
-        clf = _load_or_train(args, profile, progress)
         daemon_mode = bool(args.socket or args.tcp)
+        if args.shards < 1:
+            parser.error(f"--shards must be >= 1, got {args.shards}")
+        if args.shards > 1 and not daemon_mode:
+            parser.error("--shards requires a daemon endpoint "
+                         "(--socket PATH or --tcp HOST:PORT)")
+        if args.shards > 1:
+            return _serve_sharded(args, profile, progress)
+        clf = _load_or_train(args, profile, progress)
         budget = (int(args.memory_budget_mb * 1024 * 1024)
                   if args.memory_budget_mb else None)
-        pool = ModelPool(loader=cache_loader(train_on_miss=args.preload),
-                         memory_budget_bytes=budget,
-                         max_models=args.max_models,
-                         default_tag=profile)
-        batcher = None
-        if daemon_mode and args.max_batch > 0:
-            batcher = MicroBatcher(max_batch=args.max_batch,
-                                   max_delay_us=args.max_delay_us)
-        fleet = ModelFleet(pool, batcher, default=clf)
-        if args.models:
-            specs = [s for s in args.models.split(",") if s.strip()]
-            for key in pool.preload(specs):
-                print(f"pre-loaded model {key.spec}", file=sys.stderr)
+        # the single-process fleet assembles through the same factory
+        # the shard processes run, so the two paths cannot drift
+        fleet = fleet_factory(
+            profile=profile,
+            models=tuple(s for s in (args.models or "").split(",")
+                         if s.strip()),
+            preload=args.preload,
+            max_batch=args.max_batch if daemon_mode else 0,
+            max_delay_us=args.max_delay_us,
+            memory_budget_bytes=budget,
+            max_models=args.max_models,
+            default=clf,
+            on_preload=lambda key: print(f"pre-loaded model {key.spec}",
+                                         file=sys.stderr),
+        )
         if daemon_mode:
             tcp = parse_tcp_endpoint(args.tcp) if args.tcp else None
             daemon = ScoringDaemon(fleet=fleet, socket_path=args.socket,
@@ -345,11 +422,12 @@ def main(argv=None) -> int:
             daemon.start()
             endpoint = ":".join(str(p) for p in daemon.address[1:])
             batching = (f"adaptive micro-batching <= {args.max_batch} "
-                        f"rows" if batcher else "micro-batching off")
+                        f"rows" if fleet.batcher
+                        else "micro-batching off")
             print(f"scoring daemon listening on {daemon.address[0]} "
-                  f"{endpoint} ({args.workers} workers, {len(pool)} "
-                  f"resident model(s), {batching}); Ctrl-C stops "
-                  f"cleanly", file=sys.stderr)
+                  f"{endpoint} ({args.workers} workers, "
+                  f"{len(fleet.pool)} resident model(s), {batching}); "
+                  f"Ctrl-C stops cleanly", file=sys.stderr)
             try:
                 daemon.serve_forever()
             finally:

@@ -178,3 +178,84 @@ class TestHitsAndInvalidation:
         assert not os.path.exists(path)
         load_or_train(config, tiny_dataset, cache_dir)
         assert os.path.exists(path)
+
+
+class TestTtlInvalidation:
+    """REPRO_ARTIFACT_TTL / load_or_train(ttl=...): age-bounded reuse."""
+
+    def _backdate(self, path: str, seconds: float) -> None:
+        stamp = os.path.getmtime(path) - seconds
+        os.utime(path, (stamp, stamp))
+
+    def test_fresh_artifact_hits_within_ttl(self, tiny_dataset,
+                                            cache_dir, fit_counter):
+        config = ReproConfig(**CFG)
+        load_or_train(config, tiny_dataset, cache_dir)
+        _, hit = load_or_train(config, tiny_dataset, cache_dir,
+                               ttl=3600.0)
+        assert hit and fit_counter["n"] == 1
+
+    def test_aged_artifact_is_refit(self, tiny_dataset, cache_dir,
+                                    fit_counter):
+        config = ReproConfig(**CFG)
+        load_or_train(config, tiny_dataset, cache_dir)
+        path = artifact_path(config, tiny_dataset, cache_dir)
+        self._backdate(path, 7200.0)
+        assert ac.load_cached(config, tiny_dataset, cache_dir,
+                              ttl=3600.0) is None
+        _, hit = load_or_train(config, tiny_dataset, cache_dir,
+                               ttl=3600.0)
+        assert not hit and fit_counter["n"] == 2
+        # the refit refreshed the artifact: it hits again now
+        _, hit = load_or_train(config, tiny_dataset, cache_dir,
+                               ttl=3600.0)
+        assert hit and fit_counter["n"] == 2
+
+    def test_env_var_ttl(self, tiny_dataset, cache_dir, fit_counter,
+                         monkeypatch):
+        config = ReproConfig(**CFG)
+        load_or_train(config, tiny_dataset, cache_dir)
+        path = artifact_path(config, tiny_dataset, cache_dir)
+        self._backdate(path, 600.0)
+        monkeypatch.setenv("REPRO_ARTIFACT_TTL", "3600")
+        _, hit = load_or_train(config, tiny_dataset, cache_dir)
+        assert hit and fit_counter["n"] == 1
+        monkeypatch.setenv("REPRO_ARTIFACT_TTL", "60")
+        _, hit = load_or_train(config, tiny_dataset, cache_dir)
+        assert not hit and fit_counter["n"] == 2
+
+    def test_explicit_ttl_overrides_env(self, tiny_dataset, cache_dir,
+                                        fit_counter, monkeypatch):
+        config = ReproConfig(**CFG)
+        load_or_train(config, tiny_dataset, cache_dir)
+        path = artifact_path(config, tiny_dataset, cache_dir)
+        self._backdate(path, 600.0)
+        monkeypatch.setenv("REPRO_ARTIFACT_TTL", "60")  # would expire
+        _, hit = load_or_train(config, tiny_dataset, cache_dir,
+                               ttl=3600.0)
+        assert hit and fit_counter["n"] == 1
+
+    def test_non_positive_ttl_always_refits(self, tiny_dataset,
+                                            cache_dir, fit_counter):
+        config = ReproConfig(**CFG)
+        load_or_train(config, tiny_dataset, cache_dir)
+        _, hit = load_or_train(config, tiny_dataset, cache_dir, ttl=0)
+        assert not hit and fit_counter["n"] == 2
+
+    def test_invalid_env_ttl_warns_and_never_expires(
+            self, tiny_dataset, cache_dir, fit_counter, monkeypatch):
+        config = ReproConfig(**CFG)
+        load_or_train(config, tiny_dataset, cache_dir)
+        monkeypatch.setenv("REPRO_ARTIFACT_TTL", "soon")
+        with pytest.warns(RuntimeWarning, match="REPRO_ARTIFACT_TTL"):
+            _, hit = load_or_train(config, tiny_dataset, cache_dir)
+        assert hit and fit_counter["n"] == 1
+
+    def test_no_ttl_means_no_expiry(self, tiny_dataset, cache_dir,
+                                    fit_counter):
+        config = ReproConfig(**CFG)
+        load_or_train(config, tiny_dataset, cache_dir)
+        path = artifact_path(config, tiny_dataset, cache_dir)
+        self._backdate(path, 10 * 365 * 24 * 3600.0)
+        _, hit = load_or_train(config, tiny_dataset, cache_dir)
+        assert hit and fit_counter["n"] == 1

@@ -360,36 +360,6 @@ class TestModelFleetRouter:
             assert frame["ok"] is False
             assert frame["code"] == "bad_request"
 
-    def test_process_line_async_completes_via_callback(self, tree_clf,
-                                                       tiny_dataset):
-        """The router's deferred entry point: batched rows complete
-        from the scheduler thread, admin verbs answer inline."""
-        X = tiny_dataset.matrix(tree_clf.feature_names_)
-        fleet = ModelFleet(default=tree_clf,
-                           batcher=MicroBatcher(max_batch=4,
-                                                max_delay_us=200))
-        try:
-            done = threading.Event()
-            out: list = []
-
-            def respond(frame: str) -> None:
-                out.append(frame)
-                done.set()
-
-            fleet.process_line_async(
-                json.dumps({"features": list(X[0]), "id": 1}) + "\n",
-                respond)
-            assert done.wait(5)
-            frame = json.loads(out[0])
-            assert frame == {"ok": True, "id": 1,
-                             "prediction": tree_clf.predict(X[0])}
-            inline: list = []
-            fleet.process_line_async('{"cmd": "list_models", "id": 2}\n',
-                                     inline.append)
-            assert json.loads(inline[0])["ok"] is True
-        finally:
-            fleet.close()
-
     def test_batched_and_unbatched_frames_are_identical(
             self, tree_clf, tiny_dataset):
         X = tiny_dataset.matrix(tree_clf.feature_names_)
