@@ -16,7 +16,11 @@ run (each level best-of-``LEVEL_REPEATS``), plus (f) the **pipelined
 client** — sequential vs windowed in-flight single rows on one
 connection, alternating rounds in the same time window — and (g)
 **sharded serving** at 1/2/4 shard processes behind one unix
-endpoint, counts interleaved per round — then writes the numbers
+endpoint, counts interleaved per round — and (h) the **wire codec x
+inference backend** matrix: json+reference, json+compiled and
+binary+compiled variants of the one-connection batched daemon path
+(plus single-row p50), alternating variants inside each measurement
+round so the recorded ratios are paired — then writes the numbers
 to ``BENCH_pipeline.json`` so later PRs
 can track the trajectory.  With ``--skip-build`` the previous file's
 ``cold_build`` section is carried over instead of dropped.
@@ -646,6 +650,136 @@ def bench_shards(shard_counts=(1, 2, 4), clients: int = 4,
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def bench_codec_backend(batch_rows: int = 10_000, rounds: int = 5,
+                        single_requests: int = 300) -> dict:
+    """Wire codec x inference backend matrix, interleaved paired.
+
+    Serves the same saved tree artifact from two daemons — one loaded
+    with the node-walk ``reference`` backend, one with the flattened
+    ``compiled`` decision tables — and measures the one-connection
+    batched path plus single-row round trips for three variants:
+    json+reference (the PR 5 wire), json+compiled, and
+    binary+compiled (the negotiated length-prefixed codec).  All
+    variants run inside each measurement round, so the recorded
+    ratios are paired on a shared box; medians per variant are
+    recorded.  Rows are pre-rounded to the f32 grid the binary codec
+    transports and every wire prediction is asserted identical to the
+    reference classifier — the speedup must not come from answering a
+    different question.
+    """
+    from repro.api import (
+        BACKEND_COMPILED,
+        BACKEND_REFERENCE,
+        CODEC_BINARY,
+        CODEC_JSON,
+        Classifier,
+        ReproConfig,
+        ScoringClient,
+        ScoringDaemon,
+    )
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_codec_")
+    variants = ((CODEC_JSON, BACKEND_REFERENCE),
+                (CODEC_JSON, BACKEND_COMPILED),
+                (CODEC_BINARY, BACKEND_COMPILED))
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        trained = Classifier(ReproConfig(profile="unit")).train(dataset)
+        artifact = os.path.join(workdir, "model.json")
+        trained.save(artifact)
+        backends = {
+            BACKEND_REFERENCE: Classifier.load(
+                artifact, backend=BACKEND_REFERENCE),
+            BACKEND_COMPILED: Classifier.load(artifact),
+        }
+        X = dataset.matrix(trained.feature_names_)
+        # round to the f32 grid the binary codec transports, so every
+        # variant scores bit-identical inputs
+        X = X.astype(np.float32).astype(np.float64)
+        reps = max(1, -(-batch_rows // len(X)))
+        big = np.tile(X, (reps, 1))[:batch_rows]
+        expected = [int(p) for p in
+                    backends[BACKEND_REFERENCE].predict_batch(big)]
+        if expected != [int(p) for p in
+                        backends[BACKEND_COMPILED].predict_batch(big)]:
+            raise AssertionError("compiled backend diverges locally")
+
+        sockets = {backend: os.path.join(workdir, f"{backend}.sock")
+                   for backend in backends}
+        daemons = [ScoringDaemon(clf, socket_path=sockets[backend],
+                                 workers=4)
+                   for backend, clf in backends.items()]
+
+        def run_batch(codec: str, backend: str) -> float:
+            with ScoringClient(socket_path=sockets[backend],
+                               codec=codec) as client:
+                if client.codec != codec:
+                    raise AssertionError(
+                        f"negotiated {client.codec!r}, wanted {codec!r}")
+                client.predict_batch(big[:64])  # warm-up
+                start = time.perf_counter()
+                got = client.predict_batch(big)
+                wall = time.perf_counter() - start
+            if got != expected:
+                raise AssertionError(
+                    f"{codec}+{backend} batch predictions diverged")
+            return round(len(big) / wall, 1)
+
+        def run_single(codec: str, backend: str) -> float:
+            latencies = []
+            with ScoringClient(socket_path=sockets[backend],
+                               codec=codec) as client:
+                client.predict(list(map(float, X[0])))  # warm-up
+                for i in range(single_requests):
+                    row = list(map(float, X[i % len(X)]))
+                    start = time.perf_counter()
+                    got = client.predict(row)
+                    latencies.append(time.perf_counter() - start)
+                    if got != expected[i % len(X)]:
+                        raise AssertionError(
+                            f"{codec}+{backend} single-row diverged")
+            lat_us = np.asarray(latencies) * 1e6
+            return round(float(np.percentile(lat_us, 50)), 1)
+
+        batch_runs = {variant: [] for variant in variants}
+        single_runs = {variant: [] for variant in variants}
+        with daemons[0], daemons[1]:
+            run_batch(*variants[0])  # page everything in once
+            for _ in range(rounds):
+                for variant in variants:
+                    batch_runs[variant].append(run_batch(*variant))
+                for variant in variants:
+                    single_runs[variant].append(run_single(*variant))
+
+        levels = []
+        baseline = None
+        for codec, backend in variants:
+            rps = sorted(batch_runs[(codec, backend)])[rounds // 2]
+            p50 = sorted(single_runs[(codec, backend)])[rounds // 2]
+            if baseline is None:
+                baseline = rps
+            levels.append({
+                "codec": codec,
+                "backend": backend,
+                "batched_rows_per_sec": rps,
+                "single_round_trip_us_p50": p50,
+                "speedup_vs_json_reference": round(rps / baseline, 2),
+            })
+        return {
+            "transport": "unix",
+            "batch_rows": len(big),
+            "rounds": rounds,
+            "single_requests": single_requests,
+            "variants": levels,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="quick",
@@ -771,6 +905,22 @@ def main(argv=None) -> int:
         print(f"  {level['shards']} shard(s): "
               f"{level['rows_per_sec']} rows/s "
               f"({level['speedup_vs_1_shard']}x vs 1 shard)")
+
+    print("wire codec x backend matrix (interleaved rounds) ...",
+          flush=True)
+    results["codec_backend"] = bench_codec_backend()
+    for variant in results["codec_backend"]["variants"]:
+        print(f"  {variant['codec']:>9} + {variant['backend']:9s}: "
+              f"{variant['batched_rows_per_sec']} rows/s batched, "
+              f"p50 {variant['single_round_trip_us_p50']} us "
+              f"({variant['speedup_vs_json_reference']}x vs "
+              f"json+reference)")
+    best = results["codec_backend"]["variants"][-1]
+    ref_batched = results["daemon"]["batched"]["rows_per_sec"]
+    ratio = round(best["batched_rows_per_sec"] / ref_batched, 2)
+    results["codec_backend"]["speedup_vs_daemon_batched"] = ratio
+    print(f"  binary+compiled vs daemon batched "
+          f"({ref_batched} rows/s): {ratio}x")
 
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)

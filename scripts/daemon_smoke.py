@@ -7,18 +7,22 @@ profile, throwaway caches), serves both from one
 pushes ``--rows`` feature rows through ``--clients`` concurrent
 :class:`repro.api.ScoringClient` connections — odd clients routing to
 the forest via the ``model`` request field, even clients hitting the
-pinned default — and asserts every wire prediction is byte-identical
-to the matching local ``predict_batch``.  Also exercises the admin
+pinned default, and half of each negotiating the ``binary-v1`` wire
+codec while the rest stay on JSON lines — and asserts every wire
+prediction is byte-identical to the matching local ``predict_batch``
+(rows are pre-rounded to the f32 grid the binary codec transports, so
+both codecs score bit-identical inputs).  Also exercises the admin
 verbs (``list_models`` / ``load_model`` / ``evict_model``), the
-``stats`` verb, and clean shutdown (socket unlinked, counters
-consistent).
+``stats`` verb including its per-codec traffic section, and clean
+shutdown (socket unlinked, counters consistent).
 
 Then the **sharded** leg: a ``--shards``-process
 :class:`repro.api.ShardManager` deployment behind one unix shard
-registry, a pipelined client round trip through it
+registry, pipelined JSON *and* binary client round trips through it
 (``predict_pipelined``, byte-identical again), per-shard stats via the
-registry, and clean fan-out shutdown (registry and shard sockets
-gone).  Exit code 0 means both deployment paths work end to end.
+registry plus the :func:`repro.api.collect_stats` aggregation, and
+clean fan-out shutdown (registry and shard sockets gone).  Exit code 0
+means both deployment paths work end to end.
 
 Run from the repo root::
 
@@ -43,6 +47,8 @@ sys.path.insert(
 import numpy as np  # noqa: E402
 
 from repro.api import (  # noqa: E402
+    CODEC_BINARY,
+    CODEC_JSON,
     MicroBatcher,
     ModelFleet,
     ModelPool,
@@ -51,6 +57,7 @@ from repro.api import (  # noqa: E402
     ScoringDaemon,
     ShardManager,
     classifier_factory,
+    collect_stats,
     load_or_train,
 )
 from repro.api.shard import read_registry  # noqa: E402
@@ -103,7 +110,10 @@ def main(argv=None) -> int:
         for spec, clf in variants.items():
             base = dataset.matrix(clf.feature_names_)
             reps = -(-args.rows // len(base))  # ceil division
-            rows_of[spec] = np.tile(base, (reps, 1))[: args.rows]
+            tiled = np.tile(base, (reps, 1))[: args.rows]
+            # round to the f32 grid the binary codec transports, so
+            # JSON and binary clients score bit-identical inputs
+            rows_of[spec] = tiled.astype(np.float32).astype(np.float64)
             expected[spec] = [int(p) for p in clf.predict_batch(rows_of[spec])]
 
         def loader(key):
@@ -126,10 +136,14 @@ def main(argv=None) -> int:
         errors: list = []
 
         def worker(slot: int) -> None:
+            # 4-way coverage: (tree, forest) x (json, binary-v1)
             spec = None if slot % 2 == 0 else FOREST_SPEC
+            codec = CODEC_JSON if (slot // 2) % 2 == 0 else CODEC_BINARY
             shard = rows_of[spec][slot :: args.clients]
             try:
-                with ScoringClient(socket_path=socket_path) as client:
+                with ScoringClient(socket_path=socket_path,
+                                   codec=codec) as client:
+                    assert client.codec == codec, (client.codec, codec)
                     batch = client.predict_batch(shard, model=spec)
                     singles = [
                         client.predict(list(row), model=spec) for row in shard
@@ -178,10 +192,28 @@ def main(argv=None) -> int:
         assert not os.path.exists(socket_path), "socket not unlinked"
         loop_stats = stats.get("loop", {})
 
+        # per-codec traffic accounting: every connection is attributed
+        # to the codec it ended on, byte counters split the same way
+        n_binary = sum(1 for slot in range(args.clients)
+                       if (slot // 2) % 2 == 1)
+        n_json = args.clients - n_binary + 1  # + the admin client
+        codec_stats = stats["codec"]
+        assert codec_stats["connections"].get(CODEC_BINARY, 0) == n_binary, (
+            codec_stats
+        )
+        assert codec_stats["connections"].get(CODEC_JSON, 0) == n_json, (
+            codec_stats
+        )
+        assert codec_stats["requests"].get(CODEC_JSON, 0) > 0
+        if n_binary:
+            assert codec_stats["requests"].get(CODEC_BINARY, 0) > 0
+            assert codec_stats["bytes_in"].get(CODEC_BINARY, 0) > 0
+            assert codec_stats["bytes_out"].get(CODEC_BINARY, 0) > 0
+
         print(
             f"daemon smoke OK: {scored} predictions across "
-            f"{args.clients} clients and 2 models, "
-            f"{stats['requests_served']} requests, "
+            f"{args.clients} clients ({n_binary} binary-v1) and "
+            f"2 models, {stats['requests_served']} requests, "
             f"mean coalesced batch {loop_stats.get('mean_fast_batch')}, "
             f"clean shutdown"
         )
@@ -206,6 +238,16 @@ def main(argv=None) -> int:
                     [list(map(float, row)) for row in rows], window=16
                 )
                 assert got == want, "sharded pipelined diverged"
+            # same rows again over a negotiated binary connection —
+            # the forked shard daemons speak both codecs
+            with ScoringClient(socket_path=base,
+                               codec=CODEC_BINARY) as client:
+                assert client.codec == CODEC_BINARY
+                got = client.predict_pipelined(
+                    [list(map(float, row)) for row in rows], window=16
+                )
+                assert got == want, "sharded binary pipelined diverged"
+                assert client.predict_batch(rows) == want
             shard_requests = {}
             for row in registry:
                 with ScoringClient(socket_path=row["path"]) as client:
@@ -215,14 +257,24 @@ def main(argv=None) -> int:
                         shard_stats["server"]["requests_served"]
                     )
             assert sorted(shard_requests) == list(range(args.shards))
+            aggregated = collect_stats(base)
+            assert len(aggregated["shards"]) == args.shards, aggregated
+            assert aggregated["requests_served"] >= 2 * len(rows) + 1
+            merged_codec = aggregated["codec"]
+            assert merged_codec["connections"].get(CODEC_BINARY, 0) >= 1, (
+                merged_codec
+            )
+            assert merged_codec["bytes_in"].get(CODEC_BINARY, 0) > 0
         assert not os.path.exists(base), "registry not removed"
         for row in registry:
             assert not os.path.exists(row["path"]), "shard socket left"
 
         print(
-            f"shard smoke OK: {len(rows)} pipelined predictions across "
-            f"{args.shards} shards, per-shard requests "
-            f"{shard_requests}, clean fan-out shutdown"
+            f"shard smoke OK: {len(rows)} pipelined predictions x 2 "
+            f"codecs across {args.shards} shards, per-shard requests "
+            f"{shard_requests}, aggregated "
+            f"{aggregated['requests_served']} requests, "
+            f"clean fan-out shutdown"
         )
         return 0
     finally:

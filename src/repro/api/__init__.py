@@ -28,6 +28,13 @@ the wire client (sequential and pipelined); and :func:`load_or_train`
 caches trained model artifacts keyed on ``(dataset tag, CODE_VERSION,
 model family, feature set)`` — bounded in age by
 ``$REPRO_ARTIFACT_TTL`` — so identical configurations never retrain.
+
+Wire format and execution backend are both negotiated/pluggable:
+connections start as JSON-lines and may upgrade to the length-prefixed
+binary codec via a ``{"cmd": "hello"}`` handshake (see
+:mod:`repro.api.wire`), and loaded classifiers predict through
+compiled flat decision tables by default with a ``backend="reference"``
+opt-out (see :meth:`Classifier.compile`).
 """
 
 from repro.api.artifact_cache import (
@@ -41,6 +48,9 @@ from repro.api.artifact_cache import (
 from repro.api.classifier import (
     ARTIFACT_FORMAT,
     ARTIFACT_VERSION,
+    BACKEND_COMPILED,
+    BACKEND_REFERENCE,
+    BACKENDS,
     Classifier,
     EvaluationReport,
     evaluate_features,
@@ -55,6 +65,7 @@ from repro.api.daemon import (
 from repro.api.shard import (
     ShardManager,
     classifier_factory,
+    collect_stats,
     fleet_factory,
 )
 from repro.api.transport import (
@@ -99,6 +110,13 @@ from repro.api.selection import (
     rank_features,
 )
 from repro.api.service import handle_request, process_line, serve
+from repro.api.wire import (
+    CODEC_BINARY,
+    CODEC_JSON,
+    DEFAULT_CODECS,
+    WireSession,
+    get_codec,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -121,7 +139,16 @@ __all__ = [
     "ScoringDaemon",
     "ShardManager",
     "classifier_factory",
+    "collect_stats",
     "fleet_factory",
+    "BACKEND_COMPILED",
+    "BACKEND_REFERENCE",
+    "BACKENDS",
+    "CODEC_BINARY",
+    "CODEC_JSON",
+    "DEFAULT_CODECS",
+    "WireSession",
+    "get_codec",
     "DEFAULT_PIPELINE_WINDOW",
     "DEFAULT_WORKERS",
     "parse_tcp_endpoint",

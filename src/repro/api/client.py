@@ -27,6 +27,19 @@ request retried after a shard crash lands on a live shard.  Sharded
 TCP endpoints need nothing: the kernel balances ``SO_REUSEPORT``
 listeners behind the one port.
 
+**Codecs** (see :mod:`repro.api.wire`): with ``codec="binary-v1"``
+the client opens every (re)connection with a
+``{"cmd": "hello", "codecs": [...]}`` handshake and — when the server
+agrees — switches to the length-prefixed binary codec: feature rows
+travel as packed float32 arrays and predictions come back as packed
+ints, with every cold verb and error shape embedded as JSON frames
+inside the binary framing.  Servers that predate codecs (or were
+started JSON-only) answer the hello with an error or a ``json``
+choice; the client simply stays on JSON, so ``codec="binary-v1"`` is
+always safe to request.  Reconnects re-negotiate from scratch and
+pending requests are re-encoded in whatever codec the new connection
+agreed to.
+
 **Pipelining**: :meth:`request_pipelined` /
 :meth:`predict_pipelined` keep up to ``window`` requests in flight on
 the one connection, completing them out of order by id — this is what
@@ -60,6 +73,7 @@ import threading
 from collections import deque
 
 from repro.api.protocol import MAX_RESPONSE_BYTES
+from repro.api.wire import CODEC_JSON, CODECS, JSON_CODEC
 from repro.errors import ScoringError
 
 #: raised (as ScoringError.code) on response-id mismatches.
@@ -90,6 +104,7 @@ class ScoringClient:
         tcp: tuple | None = None,
         timeout: float = 30.0,
         reconnect_retries: int = 1,
+        codec: str = CODEC_JSON,
     ) -> None:
         if (socket_path is None) == (tcp is None):
             raise ScoringError(
@@ -102,6 +117,14 @@ class ScoringClient:
                 f"reconnect_retries must be >= 0, got {reconnect_retries}",
                 code=ERROR_TRANSPORT,
             )
+        if codec not in CODECS:
+            raise ScoringError(
+                f"unknown codec {codec!r}; this client speaks "
+                f"{sorted(CODECS)}",
+                code=ERROR_TRANSPORT,
+            )
+        self._codec_pref = codec
+        self._codec = JSON_CODEC  # pre-negotiation state
         self._socket_path = socket_path
         self._tcp = tuple(tcp) if tcp is not None else None
         self._timeout = timeout
@@ -162,12 +185,51 @@ class ScoringClient:
                 continue
             self._rbuf.clear()
             self._dead = False
+            self._sock = sock
+            self._codec = JSON_CODEC
+            if self._codec_pref != CODEC_JSON:
+                try:
+                    self._negotiate()
+                except OSError as exc:
+                    # the daemon dropped us mid-handshake: treat like a
+                    # failed connect and move to the next candidate
+                    self._teardown_connection()
+                    last_error, last_endpoint = exc, endpoint
+                    continue
             return sock
         raise ScoringError(
             f"cannot connect to scoring daemon at {last_endpoint!r}: "
             f"{last_error}",
             code=ERROR_TRANSPORT,
         )
+
+    def _negotiate(self) -> None:
+        """The hello handshake: offer the preferred codec, adopt the
+        server's choice.
+
+        Always spoken in JSON (the pre-negotiation floor).  A server
+        that predates codecs answers a typed error frame, and a server
+        configured JSON-only answers ``{"codec": "json"}`` — in both
+        cases the client simply keeps speaking JSON, so requesting a
+        codec never breaks compatibility.
+        """
+        req_id = self._next_id
+        self._next_id += 1
+        hello = {"cmd": "hello", "codecs": [self._codec_pref],
+                 "id": req_id}
+        self._sock.sendall(JSON_CODEC.encode_request(hello))
+        line = self._recv_line()
+        if not line:
+            raise ConnectionResetError(
+                "connection closed during codec negotiation")
+        try:
+            response = json.loads(line)
+        except ValueError:
+            response = None
+        if (isinstance(response, dict) and response.get("ok")
+                and response.get("id") == req_id
+                and response.get("codec") in CODECS):
+            self._codec = CODECS[response["codec"]]
 
     def _recv_line(self) -> bytes:
         """One newline-terminated response frame; ``b""`` on EOF.
@@ -198,6 +260,36 @@ class ScoringClient:
                     code=ERROR_TRANSPORT,
                 )
 
+    def _recv_frame(self) -> bytes:
+        """One response frame in the active codec; ``b""`` on EOF.
+
+        JSON connections read newline-terminated lines; binary
+        connections read a 5-byte header (u32 length + u8 type) and
+        the declared payload, bounded by the same response guard.
+        """
+        if self._codec.name == CODEC_JSON:
+            return self._recv_line()
+        while True:
+            if len(self._rbuf) >= 5:
+                length = int.from_bytes(self._rbuf[:4], "little")
+                if length > MAX_RESPONSE_BYTES:
+                    self._teardown_connection()
+                    raise ScoringError(
+                        f"daemon announced a {length}-byte binary "
+                        f"frame; the protocol accepts at most "
+                        f"{MAX_RESPONSE_BYTES}",
+                        code=ERROR_TRANSPORT,
+                    )
+                total = 5 + length
+                if len(self._rbuf) >= total:
+                    raw = bytes(self._rbuf[4:total])
+                    del self._rbuf[:total]
+                    return raw
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                return b""
+            self._rbuf += chunk
+
     def _teardown_connection(self) -> None:
         # leaves the client re-dialable: the next request re-connects
         # lazily (see the _dead checks in the request paths)
@@ -207,6 +299,7 @@ class ScoringClient:
         except OSError:
             pass
         self._rbuf.clear()
+        self._codec = JSON_CODEC  # a fresh connection re-negotiates
 
     # -- plumbing ----------------------------------------------------------
 
@@ -227,7 +320,6 @@ class ScoringClient:
             self._next_id += 1
             frame = dict(payload)
             frame["id"] = req_id
-            wire = (json.dumps(frame) + "\n").encode("utf-8")
             line = None
             for attempt in range(self._reconnect_retries + 1):
                 try:
@@ -235,8 +327,10 @@ class ScoringClient:
                         # a prior teardown (desync guard, drop) left no
                         # live connection: dial fresh before sending
                         self._sock = self._connect()
-                    self._sock.sendall(wire)
-                    line = self._recv_line()
+                    # encoded per attempt: a reconnect re-negotiates,
+                    # so the retry must speak the new connection's codec
+                    self._sock.sendall(self._codec.encode_request(frame))
+                    line = self._recv_frame()
                 except (ConnectionResetError, BrokenPipeError) as exc:
                     # the daemon went away mid-request (restart? shard
                     # crash?): one clean retry on a fresh connection —
@@ -278,8 +372,8 @@ class ScoringClient:
                     )
                 self._sock = self._connect()
             try:
-                response = json.loads(line)
-            except json.JSONDecodeError as exc:
+                response = self._codec.decode_response(line)
+            except ValueError as exc:
                 raise ScoringError(
                     f"daemon sent an undecodable frame: {exc}",
                     code=ERROR_TRANSPORT,
@@ -350,15 +444,17 @@ class ScoringClient:
         with self._lock:
             if self._closed:
                 raise ScoringError("client is closed", code=ERROR_TRANSPORT)
-            wires: list = []
+            frames: list = []
             ids: list = []
             for payload in payloads:
                 req_id = self._next_id
                 self._next_id += 1
                 frame = dict(payload)
                 frame["id"] = req_id
-                wires.append((json.dumps(frame) + "\n").encode("utf-8"))
+                frames.append(frame)
                 ids.append(req_id)
+            codec = self._codec
+            wires = [codec.encode_request(frame) for frame in frames]
             results: list = [None] * len(payloads)
             to_send: deque = deque(range(len(payloads)))
             in_flight: dict = {}  # req_id -> payload index
@@ -368,11 +464,17 @@ class ScoringClient:
                 try:
                     if self._dead:
                         self._sock = self._connect()
+                        if self._codec is not codec:
+                            # the fresh connection negotiated a
+                            # different codec: re-encode what is left
+                            codec = self._codec
+                            wires = [codec.encode_request(frame)
+                                     for frame in frames]
                     while to_send and len(in_flight) < window:
                         index = to_send.popleft()
                         in_flight[ids[index]] = index
                         self._sock.sendall(wires[index])
-                    line = self._recv_line()
+                    line = self._recv_frame()
                 except (ConnectionResetError, BrokenPipeError) as exc:
                     drops += 1
                     self._teardown_connection()
@@ -384,7 +486,8 @@ class ScoringClient:
                             code=ERROR_TRANSPORT,
                         )
                     self._requeue_in_flight(in_flight, to_send)
-                    self._sock = self._connect()
+                    # the loop top re-dials (and re-encodes the
+                    # remaining wires if the codec changed)
                     continue
                 except ScoringError:
                     raise
@@ -404,11 +507,12 @@ class ScoringClient:
                             code=ERROR_TRANSPORT,
                         )
                     self._requeue_in_flight(in_flight, to_send)
-                    self._sock = self._connect()
+                    # the loop top re-dials (and re-encodes the
+                    # remaining wires if the codec changed)
                     continue
                 try:
-                    response = json.loads(line)
-                except json.JSONDecodeError as exc:
+                    response = codec.decode_response(line)
+                except ValueError as exc:
                     self._teardown_connection()
                     raise ScoringError(
                         f"daemon sent an undecodable frame: {exc}",
@@ -519,11 +623,20 @@ class ScoringClient:
         return int(response["prediction"])
 
     def predict_batch(self, rows, model: str | None = None) -> list:
-        """Score many pre-assembled feature vectors in one round trip."""
-        if hasattr(rows, "tolist"):
-            rows = rows.tolist()
-        encoded = [[float(v) for v in row] for row in rows]
-        payload = self._with_model({"rows": encoded}, model)
+        """Score many pre-assembled feature vectors in one round trip.
+
+        On a negotiated binary connection an ndarray travels as one
+        contiguous float32 matrix — no per-row Python lists are built
+        on either side of the wire.
+        """
+        if (model is None and hasattr(rows, "ndim")
+                and self._codec.name != CODEC_JSON):
+            payload: dict = {"rows": rows}
+        else:
+            if hasattr(rows, "tolist"):
+                rows = rows.tolist()
+            encoded = [[float(v) for v in row] for row in rows]
+            payload = self._with_model({"rows": encoded}, model)
         return [int(p) for p in self.request(payload)["predictions"]]
 
     def info(self, model: str | None = None) -> dict:
@@ -539,7 +652,10 @@ class ScoringClient:
         section against fleet daemons (pool hits/evictions, batching),
         and a ``shard`` section (index, pid) against sharded daemons —
         query each shard of a unix-socket deployment to collect
-        per-shard request counts.
+        per-shard request counts (or use
+        :func:`repro.api.shard.collect_stats`).  The ``server`` section
+        carries a ``codec`` subsection: connections, requests and byte
+        totals per negotiated codec.
         """
         return dict(self.request({"cmd": "stats"})["stats"])
 
@@ -568,6 +684,11 @@ class ScoringClient:
         return bool(response["evicted"])
 
     # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def codec(self) -> str:
+        """The codec the current connection negotiated."""
+        return self._codec.name
 
     def close(self) -> None:
         """Close the connection; idempotent."""

@@ -48,6 +48,7 @@ from repro.api.transport import (
     RequestEngine,
     ThreadedServer,
 )
+from repro.api.wire import DEFAULT_CODECS
 from repro.errors import DaemonError
 
 __all__ = [
@@ -95,7 +96,10 @@ class ScoringDaemon:
     ``SO_REUSEPORT`` on TCP listeners so sharded daemons can share one
     port (see :mod:`repro.api.shard`); ``stats_extra`` contributes
     static sections (e.g. shard identity) to the ``{"cmd": "stats"}``
-    verb.
+    verb.  ``codecs`` is the ordered tuple of wire codec names the
+    daemon offers during hello negotiation (see :mod:`repro.api.wire`);
+    the default offers the binary codec and falls back to JSON, and
+    ``("json",)`` pins the daemon to JSON-lines only.
     """
 
     def __init__(
@@ -108,6 +112,7 @@ class ScoringDaemon:
         fleet=None,
         reuse_port: bool = False,
         stats_extra: dict | None = None,
+        codecs: tuple | None = None,
     ) -> None:
         if (classifier is None) == (fleet is None):
             raise DaemonError(
@@ -136,6 +141,7 @@ class ScoringDaemon:
         self.backlog = backlog
         self.reuse_port = reuse_port
         self.stats_extra = dict(stats_extra) if stats_extra else {}
+        self.codecs = tuple(codecs) if codecs is not None else DEFAULT_CODECS
         self._listener: socket.socket | None = None
         self._engine: RequestEngine | None = None
         self._server = None  # ThreadedServer | EventLoopServer
@@ -218,10 +224,12 @@ class ScoringDaemon:
             batcher = getattr(self.fleet, "batcher", None)
             max_batch = batcher.max_batch if batcher is not None else 1
             server = EventLoopServer(
-                self._engine, listener, workers=self.workers, max_batch=max_batch
+                self._engine, listener, workers=self.workers,
+                max_batch=max_batch, codecs=self.codecs
             )
         else:
-            server = ThreadedServer(self._engine, listener, workers=self.workers)
+            server = ThreadedServer(self._engine, listener,
+                                    workers=self.workers, codecs=self.codecs)
         self._engine.add_stats_source("server", server.stats)
         self._server = server.start()
         return self
@@ -293,6 +301,8 @@ class ScoringDaemon:
             "active_connections": server_stats["active_connections"],
             "workers": self.workers,
         }
+        if "codec" in server_stats:
+            stats["codec"] = server_stats["codec"]
         if self.fleet is not None:
             if server_stats.get("transport") == "eventloop":
                 stats["loop"] = server_stats

@@ -6,17 +6,27 @@ unified transport core generalized it into
 :class:`repro.api.transport.RequestEngine` (single-model or fleet).
 This module keeps the old import path and constructor signature alive
 for embedders; new code should use the transport module directly.
+Importing it emits a :class:`DeprecationWarning` — the shim will be
+removed once nothing imports it.
 """
 
 from __future__ import annotations
 
 import socket
+import warnings
 
 from repro.api.transport import (  # noqa: F401  (re-exports)
     RECV_BYTES,
     EventLoopServer,
     RequestEngine,
     _prediction_frame,
+)
+
+warnings.warn(
+    "repro.api.fleet.eventloop is deprecated; use "
+    "repro.api.transport.EventLoopServer (with a RequestEngine) instead",
+    DeprecationWarning,
+    stacklevel=2,
 )
 
 

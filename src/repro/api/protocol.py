@@ -32,6 +32,11 @@ ERROR_INTERNAL = "internal"
 ERROR_UNKNOWN_MODEL = "unknown_model"
 #: the request line exceeded :data:`MAX_REQUEST_BYTES`.
 ERROR_TOO_LARGE = "too_large"
+#: a frame on a negotiated binary connection could not be decoded
+#: (unknown frame type, truncated or inconsistent payload); the
+#: connection is torn down after answering, because a length-prefixed
+#: stream cannot be resynchronized (see :mod:`repro.api.wire`).
+ERROR_INVALID_FRAME = "invalid_frame"
 
 ERROR_CODES = (
     ERROR_INVALID_JSON,
@@ -39,6 +44,7 @@ ERROR_CODES = (
     ERROR_INTERNAL,
     ERROR_UNKNOWN_MODEL,
     ERROR_TOO_LARGE,
+    ERROR_INVALID_FRAME,
 )
 
 #: upper bound on one request line (16 MiB — a ~40k-row batch of the

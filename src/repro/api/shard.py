@@ -51,6 +51,7 @@ from repro.api.daemon import (
     ScoringDaemon,
     _reclaim_stale_unix_socket,
 )
+from repro.api.wire import merge_codec_stats
 from repro.errors import DaemonError
 
 #: registry format marker (bumped on incompatible layout changes).
@@ -123,11 +124,13 @@ def _pid_alive(pid) -> bool:
 # -- picklable scorer factories (run inside the shard process) -------------
 
 
-def classifier_factory(artifact_path: str):
+def classifier_factory(artifact_path: str, backend: str | None = None):
     """A factory loading one saved model artifact (single-model shards)."""
-    from repro.api.classifier import Classifier
+    from repro.api.classifier import BACKEND_COMPILED, Classifier
 
-    return Classifier.load(artifact_path)
+    return Classifier.load(
+        artifact_path,
+        backend=backend if backend is not None else BACKEND_COMPILED)
 
 
 def fleet_factory(
@@ -143,6 +146,7 @@ def fleet_factory(
     max_models: int | None = None,
     default=None,
     on_preload=None,
+    backend: str | None = None,
 ):
     """Build the serving fleet ``repro serve`` deploys.
 
@@ -152,14 +156,16 @@ def fleet_factory(
     ``(profile, family, feature_set)``, training on a miss.  Extra
     *models* specs are warm pre-loaded (*on_preload* is called per
     loaded key, for progress reporting).  ``max_batch`` <= 0 disables
-    micro-batching.  Both serve paths assemble through this one
-    function: the CLI calls it inline for a single-process fleet, and
-    :class:`ShardManager` runs it (picklable, built-in defaults)
-    inside every shard process so each shard owns its own pool,
-    batcher and event loop.
+    micro-batching.  *backend* selects the execution backend every
+    model in the fleet runs on (default: compiled decision tables; see
+    :meth:`repro.api.Classifier.compile`).  Both serve paths assemble
+    through this one function: the CLI calls it inline for a
+    single-process fleet, and :class:`ShardManager` runs it
+    (picklable, built-in defaults) inside every shard process so each
+    shard owns its own pool, batcher and event loop.
     """
     from repro.api.artifact_cache import load_or_train
-    from repro.api.classifier import Classifier
+    from repro.api.classifier import BACKEND_COMPILED, Classifier
     from repro.api.config import ReproConfig
     from repro.api.fleet import (
         DEFAULT_MAX_BATCH,
@@ -170,14 +176,17 @@ def fleet_factory(
         cache_loader,
     )
 
+    if backend is None:
+        backend = BACKEND_COMPILED
     if default is None:
         if model_path:
-            default = Classifier.load(model_path)
+            default = Classifier.load(model_path, backend=backend)
         else:
             config = ReproConfig(profile=profile, model=family,
                                  feature_set=feature_set)
-            default, _ = load_or_train(config)
-    pool = ModelPool(loader=cache_loader(train_on_miss=preload),
+            default, _ = load_or_train(config, backend=backend)
+    pool = ModelPool(loader=cache_loader(train_on_miss=preload,
+                                         backend=backend),
                      memory_budget_bytes=memory_budget_bytes,
                      max_models=max_models,
                      default_tag=profile)
@@ -198,7 +207,8 @@ def fleet_factory(
     return fleet
 
 
-def _shard_main(factory, kind, endpoint, index, workers, ready) -> None:
+def _shard_main(factory, kind, endpoint, index, workers, ready,
+                codecs=None) -> None:
     """One shard process: build the scorer, serve until SIGTERM."""
     stop = threading.Event()
 
@@ -219,6 +229,7 @@ def _shard_main(factory, kind, endpoint, index, workers, ready) -> None:
         workers=workers,
         reuse_port=(kind == "tcp"),
         stats_extra={"shard": {"index": index, "pid": os.getpid()}},
+        codecs=codecs,
         **kwargs,
     )
     daemon.start()
@@ -262,6 +273,7 @@ class ShardManager:
         tcp: tuple | None = None,
         workers: int = DEFAULT_WORKERS,
         start_timeout: float = 120.0,
+        codecs: tuple | None = None,
     ) -> None:
         if shards < 1:
             raise DaemonError(f"shards must be >= 1, got {shards}")
@@ -276,6 +288,7 @@ class ShardManager:
         self.tcp = tuple(tcp) if tcp is not None else None
         self.workers = workers
         self.start_timeout = start_timeout
+        self.codecs = tuple(codecs) if codecs is not None else None
         self._ctx = self._pick_context()
         self._procs: list = []
         self._guard: socket.socket | None = None  # TCP port reservation
@@ -338,7 +351,7 @@ class ShardManager:
                 proc = self._ctx.Process(
                     target=_shard_main,
                     args=(self.factory, kind, endpoint, index,
-                          self.workers, ready),
+                          self.workers, ready, self.codecs),
                     name=f"repro-shard-{index}",
                     daemon=True,
                 )
@@ -461,3 +474,58 @@ class ShardManager:
         # balances across *listening* SO_REUSEPORT sockets)
         self._guard = guard
         self._bound_tcp = (host, guard.getsockname()[1])
+
+
+def collect_stats(base_path: str, timeout: float = 10.0) -> dict:
+    """Aggregate ``{"cmd": "stats"}`` across every shard of a deployment.
+
+    *base_path* is the unix endpoint clients connect to.  When it holds
+    a shard registry, every registered shard is queried directly (the
+    registry rotation would otherwise only ever show one shard per
+    connection); a plain daemon socket is queried as a single
+    "deployment of one".  Returns::
+
+        {"shards": [per-shard stats payload, ...],
+         "requests_served": total, "connections_served": total,
+         "active_connections": total,
+         "codec": merged codec section or None}
+
+    Dead shards are skipped (their row is ``{"shard": {...},
+    "error": str}``) rather than failing the whole collection.
+    """
+    from repro.api.client import ScoringClient
+
+    rows = read_registry(base_path)
+    if rows is None:
+        endpoints = [(None, base_path)]
+    else:
+        endpoints = [(s.get("index"), s["path"]) for s in rows]
+    per_shard: list = []
+    totals = {"requests_served": 0, "connections_served": 0,
+              "active_connections": 0}
+    codec_sections: list = []
+    for index, path in endpoints:
+        try:
+            with ScoringClient(socket_path=path, timeout=timeout) as client:
+                payload = client.stats()
+        except Exception as exc:  # dead shard: report, do not fail
+            per_shard.append({"shard": {"index": index, "path": path},
+                              "error": str(exc)})
+            continue
+        if index is not None:
+            payload.setdefault("shard", {"index": index})
+        per_shard.append(payload)
+        server = payload.get("server")
+        server = server if isinstance(server, dict) else {}
+        for key in totals:
+            value = server.get(key)
+            if isinstance(value, (int, float)):
+                totals[key] += value
+        if isinstance(server.get("codec"), dict):
+            codec_sections.append(server["codec"])
+    return {
+        "shards": per_shard,
+        **totals,
+        "codec": merge_codec_stats(codec_sections) if codec_sections
+        else None,
+    }

@@ -33,7 +33,6 @@ sockets and threads only — they never interpret a request themselves.
 
 from __future__ import annotations
 
-import json
 import os
 import selectors
 import socket
@@ -48,13 +47,21 @@ from repro.api import service as _service
 from repro.api.protocol import (
     ERROR_BAD_REQUEST,
     ERROR_INTERNAL,
-    ERROR_INVALID_JSON,
-    ERROR_TOO_LARGE,
     MAX_REQUEST_BYTES,
     encode_frame,
     error_frame,
     ok_frame,
     request_id,
+)
+from repro.api.wire import (
+    CODEC_JSON,
+    DEFAULT_CODECS,
+    CodecCounters,
+    WireSession,
+    decode_json_raw,
+    flood_frame,
+    prediction_frame,
+    too_large_frame,
 )
 from repro.errors import FleetError, MLError
 
@@ -64,56 +71,13 @@ RECV_BYTES = 262144
 #: default worker count for the socket transports.
 DEFAULT_WORKERS = 16
 
-
-def _prediction_frame(req_id, prediction: int) -> str:
-    """An encoded single-prediction success frame.
-
-    Byte-identical to ``encode_frame(ok_frame(...))`` but skips the
-    dict build and ``json.dumps`` for the int/absent request ids every
-    sane client sends — a few µs per row that matter at tens of
-    thousands of rows per second.
-    """
-    if req_id is None:
-        return '{"ok": true, "prediction": %d}\n' % prediction
-    if type(req_id) is int:
-        return '{"ok": true, "id": %d, "prediction": %d}\n' % (
-            req_id, prediction)
-    return encode_frame(ok_frame({"prediction": prediction}, req_id))
-
-
-def _too_large_frame(n_bytes: int) -> dict:
-    return error_frame(
-        ERROR_TOO_LARGE,
-        f"request line is {n_bytes} bytes; the protocol "
-        f"accepts at most {MAX_REQUEST_BYTES}")
-
-
-def _flood_frame() -> dict:
-    return error_frame(
-        ERROR_TOO_LARGE,
-        f"request line exceeds {MAX_REQUEST_BYTES} bytes "
-        f"without a newline; closing the connection")
-
-
-def decode_raw(raw: bytes):
-    """Decode one raw byte line — THE framing shell of every socket path.
-
-    Returns ``(request, None)`` on success, ``(None, error_frame)``
-    for oversized or malformed lines and ``(None, None)`` for blank
-    lines.  The bytes twin of :func:`repro.api.protocol.decode_request`
-    (``json.loads`` accepts the bytes directly, skipping a per-line
-    utf-8 decode + copy; the frames produced are byte-identical).
-    """
-    if len(raw) > MAX_REQUEST_BYTES:
-        return None, _too_large_frame(len(raw))
-    raw = raw.strip()
-    if not raw:
-        return None, None
-    try:
-        return json.loads(raw), None
-    except ValueError as exc:
-        return None, error_frame(ERROR_INVALID_JSON,
-                                 f"invalid JSON: {exc}")
+# the JSON wire shell moved to repro.api.wire when codecs became
+# pluggable; these modules-of-record aliases keep the historical names
+# importable (and the frames byte-identical)
+_prediction_frame = prediction_frame
+_too_large_frame = too_large_frame
+_flood_frame = flood_frame
+decode_raw = decode_json_raw
 
 
 class LineSplitter:
@@ -200,8 +164,19 @@ class RequestEngine:
 
     def handle(self, request) -> dict:
         """One decoded request to one response frame."""
-        if isinstance(request, dict) and request.get("cmd") == "stats":
-            return ok_frame({"stats": self.stats()}, request_id(request))
+        if isinstance(request, dict):
+            cmd = request.get("cmd")
+            if cmd == "stats":
+                return ok_frame({"stats": self.stats()},
+                                request_id(request))
+            if cmd == "hello":
+                # codec negotiation is per-connection transport state;
+                # the socket paths intercept hello in respond() before
+                # it reaches the engine, so an engine-level hello can
+                # only come from a transport without a WireSession
+                # (stdio, embedders) — which keeps speaking JSON
+                return ok_frame({"codec": CODEC_JSON},
+                                request_id(request))
         if self.fleet is not None:
             return self.fleet.handle_request(request)
         # late-bound module attribute so tests (and embedders) can
@@ -229,6 +204,30 @@ class RequestEngine:
             return encode_frame(error_frame(ERROR_INTERNAL,
                                             f"internal error: {exc}",
                                             request_id(request)))
+
+    def respond(self, raw: bytes, wire: WireSession) -> bytes | None:
+        """One protocol turn over a de-framed frame (codec-aware).
+
+        The socket transports' twin of :meth:`process_raw`: *wire*
+        decodes and encodes in the connection's negotiated codec and
+        absorbs the ``hello`` handshake.  On a never-negotiated (JSON)
+        connection the bytes produced are identical to
+        :meth:`process_raw` on the same line.
+        """
+        request, decode_error = wire.decode(raw)
+        if decode_error is not None:
+            return wire.encode(decode_error)
+        if request is None:
+            return None
+        hello = wire.negotiate(request)
+        if hello is not None:
+            return hello
+        try:
+            return wire.encode(self.handle(request))
+        except Exception as exc:
+            return wire.encode(error_frame(ERROR_INTERNAL,
+                                           f"internal error: {exc}",
+                                           request_id(request)))
 
     # -- the micro-batch fast path -----------------------------------------
 
@@ -284,7 +283,7 @@ class RequestEngine:
                                              str(exc), req_id))
         return ("fast", classifier, req_id, vector)
 
-    def execute_fast(self, items, emit) -> None:
+    def execute_fast(self, items, emit, wire_of=None) -> None:
         """Score coalesced fast-path rows; answer through *emit*.
 
         *items* are ``(token, req_id, classifier, vector)`` tuples
@@ -293,7 +292,25 @@ class RequestEngine:
         Rows are grouped per classifier into single ``predict_batch``
         calls; a poisoned group falls back to per-row scoring so one
         bad row cannot fail the others.
+
+        *wire_of* maps a token to its :class:`WireSession` so each
+        answer is encoded in that connection's negotiated codec;
+        without it frames are encoded as JSON text (the legacy
+        contract, byte-identical to PR 5).
         """
+        if wire_of is None:
+            def enc_frame(token, frame):
+                return encode_frame(frame)
+
+            def enc_pred(token, req_id, prediction):
+                return _prediction_frame(req_id, prediction)
+        else:
+            def enc_frame(token, frame):
+                return wire_of(token).encode(frame)
+
+            def enc_pred(token, req_id, prediction):
+                return wire_of(token).encode_prediction(req_id,
+                                                        prediction)
         groups: dict = {}
         for item in items:
             groups.setdefault(id(item[2]), []).append(item)
@@ -308,19 +325,19 @@ class RequestEngine:
                     try:
                         prediction = clf.predict(vector)
                     except (MLError, TypeError, ValueError) as exc:
-                        emit(token, encode_frame(error_frame(
+                        emit(token, enc_frame(token, error_frame(
                             ERROR_BAD_REQUEST, str(exc), req_id)))
                     except Exception as exc:
-                        emit(token, encode_frame(error_frame(
+                        emit(token, enc_frame(token, error_frame(
                             ERROR_INTERNAL, f"internal error: {exc}",
                             req_id)))
                     else:
-                        emit(token, encode_frame(ok_frame(
+                        emit(token, enc_frame(token, ok_frame(
                             {"prediction": int(prediction)}, req_id)))
                 continue
             for (token, req_id, _, _), prediction in zip(
                     group, predictions.tolist()):
-                emit(token, _prediction_frame(req_id, int(prediction)))
+                emit(token, enc_pred(token, req_id, int(prediction)))
 
 
 def serve_lines(process, stdin=None, stdout=None) -> int:
@@ -361,10 +378,12 @@ class ThreadedServer:
 
     def __init__(self, engine: RequestEngine,
                  listener: socket.socket,
-                 workers: int = DEFAULT_WORKERS) -> None:
+                 workers: int = DEFAULT_WORKERS,
+                 codecs=DEFAULT_CODECS) -> None:
         self.engine = engine
         self.listener = listener
         self.workers = max(1, int(workers))
+        self.codecs = tuple(codecs)
         self._pool: ThreadPoolExecutor | None = None
         self._acceptor: threading.Thread | None = None
         self._stopping = threading.Event()
@@ -373,6 +392,7 @@ class ThreadedServer:
         self._slots: threading.Semaphore | None = None
         self._requests_served = 0
         self._connections_served = 0
+        self._codec_counters = CodecCounters(self.codecs)
 
     def start(self) -> "ThreadedServer":
         # a bounded accept timeout guarantees the acceptor re-checks
@@ -427,6 +447,7 @@ class ThreadedServer:
                 "connections_served": self._connections_served,
                 "active_connections": len(self._connections),
                 "workers": self.workers,
+                "codec": self._codec_counters.snapshot(),
             }
 
     def _accept_loop(self) -> None:
@@ -454,40 +475,35 @@ class ThreadedServer:
             self._pool.submit(self._serve_connection, conn)
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        """One client session: read lines, answer frames, until EOF."""
-        splitter = LineSplitter()
+        """One client session: read frames, answer frames, until EOF."""
+        wire = WireSession(self.codecs)
         try:
             while not self._stopping.is_set():
                 data = conn.recv(RECV_BYTES)
                 if not data:
-                    # EOF: answer a final line the client sent without
-                    # a trailing newline (a shutdown(SHUT_WR) client
-                    # still reads the response) — stdio serving does
-                    # the same, keeping the paths byte-identical
-                    tail = bytes(splitter.buf)
-                    splitter.buf.clear()
-                    if tail.strip() and not splitter.overflowed:
-                        response = self.engine.process_raw(tail)
-                        if response is not None:
-                            conn.sendall(response.encode("utf-8"))
-                            with self._lock:
-                                self._requests_served += 1
+                    # EOF: answer a final JSON line the client sent
+                    # without a trailing newline (a shutdown(SHUT_WR)
+                    # client still reads the response) — stdio serving
+                    # does the same, keeping the paths byte-identical
+                    tail = wire.eof_tail()
+                    if tail is not None:
+                        self._answer(conn, wire, tail)
                     break
-                for raw in splitter.feed(data):
-                    # process_raw answers every failure mode itself
-                    # (invalid JSON, bad requests, internal errors with
-                    # the request id preserved) — it does not raise
-                    response = self.engine.process_raw(raw)
-                    if response is None:
-                        continue
-                    conn.sendall(response.encode("utf-8"))
-                    with self._lock:
-                        self._requests_served += 1
-                if splitter.overflowed:
-                    # a newline-less flood: answer once, then drop the
-                    # stream (it cannot be resynchronized)
-                    conn.sendall(
-                        encode_frame(_flood_frame()).encode("utf-8"))
+                wire.push(data)
+                while not wire.fatal:
+                    raw = wire.next_frame()
+                    if raw is None:
+                        break
+                    self._answer(conn, wire, raw)
+                if wire.fatal:
+                    # unrecoverable framing (a newline-less flood, an
+                    # oversized or malformed binary frame): answer the
+                    # parked typed error once, then drop the stream
+                    # (it cannot be resynchronized)
+                    farewell = wire.take_pending_error()
+                    if farewell is not None:
+                        conn.sendall(farewell)
+                        wire.count_out(len(farewell))
                     break
         except OSError:
             pass  # client went away mid-session; nothing to answer
@@ -495,22 +511,37 @@ class ThreadedServer:
             with self._lock:
                 self._connections.discard(conn)
                 self._connections_served += 1
+                self._codec_counters.fold(wire)
             try:
                 conn.close()
             except OSError:
                 pass
             self._slots.release()
 
+    def _answer(self, conn: socket.socket, wire: WireSession,
+                raw: bytes) -> None:
+        # respond answers every failure mode itself (invalid frames,
+        # bad requests, internal errors with the request id preserved)
+        # — it does not raise
+        response = self.engine.respond(raw, wire)
+        if response is None:
+            return
+        conn.sendall(response)
+        wire.count_out(len(response))
+        with self._lock:
+            self._requests_served += 1
+
 
 class _Connection:
     """Per-socket state owned by the loop thread (no locking needed)."""
 
-    __slots__ = ("sock", "splitter", "wbuf", "closed", "want_write",
+    __slots__ = ("sock", "wire", "wbuf", "closed", "want_write",
                  "eof", "pending")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket,
+                 codecs=DEFAULT_CODECS) -> None:
         self.sock = sock
-        self.splitter = LineSplitter()
+        self.wire = WireSession(codecs)
         self.wbuf = bytearray()
         self.closed = False
         self.want_write = False  # EVENT_WRITE interest is registered
@@ -547,10 +578,13 @@ class EventLoopServer:
 
     def __init__(self, engine: RequestEngine, listener: socket.socket,
                  workers: int = 4, max_batch: int = 64,
-                 close_listener: bool = True) -> None:
+                 close_listener: bool = True,
+                 codecs=DEFAULT_CODECS) -> None:
         self.engine = engine
         self.listener = listener
         self.close_listener = close_listener
+        self.codecs = tuple(codecs)
+        self._codec_counters = CodecCounters(self.codecs)
         self.max_batch = max(1, int(max_batch))
         self._workers = max(1, int(workers))
         self._stopping = threading.Event()
@@ -623,6 +657,7 @@ class EventLoopServer:
                 "largest_fast_batch": self._largest_fast_batch,
                 "slow_requests": self._slow_requests,
                 "max_batch": self.max_batch,
+                "codec": self._codec_counters.snapshot(),
             }
 
     # -- the loop ----------------------------------------------------------
@@ -685,7 +720,7 @@ class EventLoopServer:
             except OSError:
                 return  # listener closed under us (stop())
             sock.setblocking(False)
-            conn = _Connection(sock)
+            conn = _Connection(sock, self.codecs)
             self._conns.add(conn)
             sel.register(sock, selectors.EVENT_READ, conn)
             with self._lock:
@@ -707,6 +742,7 @@ class EventLoopServer:
             pass
         with self._lock:
             self._active = len(self._conns)
+            self._codec_counters.fold(conn.wire)
 
     def _read(self, conn, sel, fast) -> None:
         try:
@@ -721,9 +757,8 @@ class EventLoopServer:
             # normal fast/slow machinery, then close once every
             # outstanding answer has been staged and written — a
             # shutdown(SHUT_WR) client still reads all its responses
-            tail = bytes(conn.splitter.buf)
-            conn.splitter.buf.clear()
-            if tail.strip() and not conn.splitter.overflowed:
+            tail = conn.wire.eof_tail()
+            if tail is not None:
                 self._route(conn, tail, sel, fast)
             conn.eof = True
             # drop read interest: a half-closed socket stays readable
@@ -737,26 +772,37 @@ class EventLoopServer:
             self._flush(conn, sel)
             self._maybe_finish(conn, sel)
             return
-        for raw in conn.splitter.feed(data):
+        conn.wire.push(data)
+        while not conn.wire.fatal:
+            raw = conn.wire.next_frame()
+            if raw is None:
+                break
             self._route(conn, raw, sel, fast)
         # inline answers (decode/validation error frames) don't pass
         # through execute_fast or the completion queue: flush them now
         self._flush(conn, sel)
-        if conn.splitter.overflowed:
-            # a newline-less flood: answer once, then drop the stream
-            # (it cannot be resynchronized to a line boundary)
-            self._stage(conn, encode_frame(_flood_frame()), sel)
+        if conn.wire.fatal:
+            # unrecoverable framing (a newline-less flood, an oversized
+            # or malformed binary frame): answer once, then drop the
+            # stream (it cannot be resynchronized)
+            farewell = conn.wire.take_pending_error()
+            if farewell is not None:
+                self._stage(conn, farewell, sel)
             self._flush(conn, sel)
             self._close(conn, sel)
 
     # -- request routing ---------------------------------------------------
 
     def _route(self, conn, raw: bytes, sel, fast) -> None:
-        request, decode_error = decode_raw(raw)
+        request, decode_error = conn.wire.decode(raw)
         if decode_error is not None:
-            self._stage(conn, encode_frame(decode_error), sel)
+            self._stage(conn, conn.wire.encode(decode_error), sel)
             return
         if request is None:
+            return
+        hello = conn.wire.negotiate(request)
+        if hello is not None:
+            self._stage(conn, hello, sel)
             return
         verdict = self.engine.fast_path(request)
         if verdict is None:
@@ -764,7 +810,7 @@ class EventLoopServer:
             self._submit_slow(conn, request)
             return
         if verdict[0] == "error":
-            self._stage(conn, encode_frame(verdict[1]), sel)
+            self._stage(conn, conn.wire.encode(verdict[1]), sel)
             return
         _, classifier, req_id, vector = verdict
         conn.pending += 1
@@ -773,6 +819,10 @@ class EventLoopServer:
     def _submit_slow(self, conn, request) -> None:
         with self._lock:
             self._slow_requests += 1
+        # capture the codec at submit time: a worker-encoded response
+        # must speak the codec its request arrived under, even if the
+        # connection re-negotiates while the request is in flight
+        codec = conn.wire.codec
 
         def run() -> None:
             try:
@@ -782,9 +832,9 @@ class EventLoopServer:
                                     f"internal error: {exc}",
                                     request_id(request))
             try:
-                encoded = encode_frame(frame)
+                encoded = codec.encode_response(frame)
             except (TypeError, ValueError) as exc:
-                encoded = encode_frame(error_frame(
+                encoded = codec.encode_response(error_frame(
                     ERROR_INTERNAL, f"internal error: {exc}",
                     request_id(request)))
             with self._lock:
@@ -806,11 +856,12 @@ class EventLoopServer:
                 self._maybe_finish(conn, sel)
 
     def _execute_fast(self, chunk, sel) -> None:
-        def emit(conn, encoded: str) -> None:
+        def emit(conn, encoded) -> None:
             conn.pending -= 1
             self._stage(conn, encoded, sel)
 
-        self.engine.execute_fast(chunk, emit)
+        self.engine.execute_fast(chunk, emit,
+                                 wire_of=lambda conn: conn.wire)
         touched = {item[0] for item in chunk}
         for conn in touched:
             self._flush(conn, sel)
@@ -822,12 +873,17 @@ class EventLoopServer:
 
     # -- writing -----------------------------------------------------------
 
-    def _stage(self, conn, encoded: str, sel) -> None:
+    def _stage(self, conn, encoded, sel) -> None:
         # loop-thread only (completions are staged by the loop after
-        # draining the queue), so the counter needs no lock
+        # draining the queue), so the counter needs no lock.  *encoded*
+        # is codec bytes; str is accepted for embedders still staging
+        # JSON text
         if conn.closed:
             return
-        conn.wbuf += encoded.encode("utf-8")
+        if isinstance(encoded, str):
+            encoded = encoded.encode("utf-8")
+        conn.wbuf += encoded
+        conn.wire.count_out(len(encoded))
         self._requests_served += 1
 
     def _flush(self, conn, sel) -> None:

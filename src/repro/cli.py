@@ -61,11 +61,13 @@ from repro.api import (
     parse_tcp_endpoint,
     serve,
 )
+from repro.api.classifier import BACKEND_COMPILED, BACKENDS
 from repro.api.daemon import DEFAULT_WORKERS
 from repro.api.fleet import (
     DEFAULT_MAX_BATCH,
     DEFAULT_MAX_DELAY_US,
 )
+from repro.api.wire import CODEC_JSON
 from repro.api.registry import (
     available_feature_sets,
     available_model_families,
@@ -117,9 +119,11 @@ def _load_or_train(args, profile: str, progress) -> Classifier:
     ``--family`` / ``--features`` select which cached variant serves
     the warm path, so any model the cache already holds is reused
     without retraining — the ROADMAP's warm pre-loading for
-    ``predict``."""
+    ``predict``; ``--backend`` picks the execution backend (compiled
+    decision tables by default)."""
+    backend = getattr(args, "backend", BACKEND_COMPILED)
     if args.model:
-        return Classifier.load(args.model)
+        return Classifier.load(args.model, backend=backend)
     config = ReproConfig(profile=profile, jobs=args.jobs,
                          model=getattr(args, "family", "tree"),
                          feature_set=getattr(args, "features",
@@ -127,7 +131,7 @@ def _load_or_train(args, profile: str, progress) -> Classifier:
     print(f"no --model artifact given; consulting the artifact cache "
           f"(profile {profile!r}, {config.model}:"
           f"{config.feature_set})...", file=sys.stderr)
-    clf, hit = load_or_train(config, progress=progress)
+    clf, hit = load_or_train(config, progress=progress, backend=backend)
     print("artifact cache hit" if hit else
           f"trained and cached {artifact_path(config)}", file=sys.stderr)
     return clf
@@ -143,6 +147,19 @@ def _add_variant_opts(parser: argparse.ArgumentParser) -> None:
                         help="feature set for the default model when "
                              "no --model artifact is given: "
                              + ", ".join(available_feature_sets()))
+    parser.add_argument("--backend", choices=BACKENDS,
+                        default=BACKEND_COMPILED,
+                        help="prediction backend: compiled flat "
+                             "decision tables (default; byte-identical "
+                             "results) or the reference node-walk "
+                             "model objects")
+
+
+def _serve_codecs(args) -> tuple | None:
+    """``--codec`` to the daemon's offered-codec tuple (None = default)."""
+    if getattr(args, "codec", "auto") == "json":
+        return (CODEC_JSON,)
+    return None
 
 
 def _serve_sharded(args, profile: str, progress) -> int:
@@ -187,11 +204,13 @@ def _serve_sharded(args, profile: str, progress) -> int:
         max_delay_us=args.max_delay_us,
         memory_budget_bytes=budget,
         max_models=args.max_models,
+        backend=getattr(args, "backend", BACKEND_COMPILED),
     )
     tcp = parse_tcp_endpoint(args.tcp) if args.tcp else None
     manager = ShardManager(factory, shards=args.shards,
                            socket_path=args.socket, tcp=tcp,
-                           workers=args.workers)
+                           workers=args.workers,
+                           codecs=_serve_codecs(args))
     manager.start()
     endpoint = ":".join(str(p) for p in manager.address[1:])
     print(f"sharded scoring daemon: {args.shards} shard(s) listening "
@@ -327,6 +346,12 @@ def main(argv=None) -> int:
                           "endpoint (SO_REUSEPORT on --tcp, a shard "
                           "registry on --socket; default 1, daemon "
                           "mode only)")
+    srv.add_argument("--codec", choices=("auto", "json"), default="auto",
+                     help="wire codecs offered to hello negotiation: "
+                          "auto offers the binary codec with JSON "
+                          "fallback, json pins JSON-lines only "
+                          "(daemon mode; stdin/stdout is always "
+                          "JSON-lines)")
     _add_dataset_opts(srv)
 
     args = parser.parse_args(argv)
@@ -414,11 +439,13 @@ def main(argv=None) -> int:
             default=clf,
             on_preload=lambda key: print(f"pre-loaded model {key.spec}",
                                          file=sys.stderr),
+            backend=getattr(args, "backend", BACKEND_COMPILED),
         )
         if daemon_mode:
             tcp = parse_tcp_endpoint(args.tcp) if args.tcp else None
             daemon = ScoringDaemon(fleet=fleet, socket_path=args.socket,
-                                   tcp=tcp, workers=args.workers)
+                                   tcp=tcp, workers=args.workers,
+                                   codecs=_serve_codecs(args))
             daemon.start()
             endpoint = ":".join(str(p) for p in daemon.address[1:])
             batching = (f"adaptive micro-batching <= {args.max_batch} "

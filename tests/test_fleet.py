@@ -519,3 +519,22 @@ def test_numpy_roundtrip_is_byte_identical_through_batching(
         assert np.asarray(frame["prediction"]).dtype.kind == "i"
     finally:
         fleet.close()
+
+
+def test_eventloop_shim_warns_on_import():
+    """The PR 4 fleet event-loop module is a deprecated alias now."""
+    import importlib
+    import sys
+    import warnings
+
+    sys.modules.pop("repro.api.fleet.eventloop", None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module("repro.api.fleet.eventloop")
+    assert any(issubclass(w.category, DeprecationWarning)
+               and "repro.api.transport" in str(w.message)
+               for w in caught)
+    # the shimmed names still resolve for embedders
+    from repro.api.transport import EventLoopServer
+
+    assert issubclass(module.FleetEventLoop, EventLoopServer)
