@@ -1,0 +1,54 @@
+"""Protocol- and concurrency-aware static analysis for this repo.
+
+Generic linters gate syntax and style; they cannot know that a verb
+handled by :class:`repro.api.transport.RequestEngine` must have a
+:class:`repro.api.client.ScoringClient` method sending it, that the
+selectors event loop must never block, or that every binary frame type
+packed in :mod:`repro.api.wire` needs a matching unpack branch.  The
+source paper classifies programs by *statically extracted* features;
+this package applies the same move to the repo's own source: walk the
+ASTs, extract the protocol/concurrency facts, and report drift before
+runtime does.
+
+Entry points:
+
+* ``repro lint`` (see :mod:`repro.cli`) and ``python -m repro.analysis``
+  both drive :func:`repro.analysis.engine.main`;
+* :func:`run_lint` is the library surface (used by the test suite and
+  embedders).
+
+The rule battery lives in :mod:`repro.analysis.rules`:
+
+======= ==================================================
+RPL001  protocol consistency (verbs / error codes)
+RPL002  event-loop blocking-call detector
+RPL003  lock discipline (guarded attributes written bare)
+RPL004  fork safety (pre-fork state crossing into children)
+RPL005  codec symmetry (frame types / struct formats)
+======= ==================================================
+
+Findings are waived per line with ``# repro: noqa[RPL003]`` (comma for
+several rules, bare ``# repro: noqa`` for all) — deliberate violations
+stay visible in the source next to their justification.
+"""
+
+from repro.analysis.engine import (
+    Finding,
+    LintReport,
+    Project,
+    main,
+    run_lint,
+)
+from repro.analysis.rules import RULES, get_rule
+from repro.errors import AnalysisError
+
+__all__ = [
+    "AnalysisError",
+    "Finding",
+    "LintReport",
+    "Project",
+    "RULES",
+    "get_rule",
+    "main",
+    "run_lint",
+]

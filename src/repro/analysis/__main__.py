@@ -1,0 +1,6 @@
+"""``python -m repro.analysis`` — same entry point as ``repro lint``."""
+
+from repro.analysis.engine import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

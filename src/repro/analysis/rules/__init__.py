@@ -1,0 +1,51 @@
+"""The rule battery: one instance per RPL code, keyed for the engine.
+
+Adding a rule is three steps: subclass :class:`~repro.analysis.rules.
+base.Rule` in a new module here, instantiate it in ``_ALL`` below, and
+give it a firing + clean fixture pair in ``tests/test_analysis.py``.
+The registry is ordered — reports group findings by rule code.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules.base import Rule
+from repro.analysis.rules.codec import CodecSymmetry
+from repro.analysis.rules.eventloop import EventLoopBlocking
+from repro.analysis.rules.forksafety import ForkSafety
+from repro.analysis.rules.locks import LockDiscipline
+from repro.analysis.rules.protocol import ProtocolConsistency
+
+from repro.errors import AnalysisError
+
+_ALL = (
+    ProtocolConsistency(),
+    EventLoopBlocking(),
+    LockDiscipline(),
+    ForkSafety(),
+    CodecSymmetry(),
+)
+
+#: rule code -> rule instance, in catalog order.
+RULES = {rule.code: rule for rule in _ALL}
+
+
+def get_rule(code: str) -> Rule:
+    """The rule registered under *code* (case-insensitive)."""
+    try:
+        return RULES[code.strip().upper()]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown rule {code!r}; available: {', '.join(sorted(RULES))}"
+        ) from None
+
+
+__all__ = [
+    "RULES",
+    "Rule",
+    "get_rule",
+    "CodecSymmetry",
+    "EventLoopBlocking",
+    "ForkSafety",
+    "LockDiscipline",
+    "ProtocolConsistency",
+]

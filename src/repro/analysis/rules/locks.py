@@ -1,0 +1,175 @@
+"""RPL003 — attributes guarded by a lock must never be written bare.
+
+If one method writes ``self._requests_served`` inside ``with
+self._lock`` and another method writes it without the lock, the guard
+is decorative: the bare write races with every guarded reader.  The
+rule learns, per class, which attributes are lock-guarded (assigned
+under a ``with self.<lock>`` whose attribute name contains ``lock``)
+and flags bare writes to those attributes elsewhere in the class.
+
+Two escapes keep the rule honest:
+
+* ``__init__`` may assign anything — construction happens before the
+  object is shared, so there is nothing to race with;
+* a method whose *every* in-class call site is already inside a
+  ``with self.<lock>`` block (or inside ``__init__``, or inside
+  another such method — computed as a fixpoint) holds the lock by
+  construction, so its writes are guarded even without a syntactic
+  ``with``.  This is the ``_connect -> _negotiate`` shape in
+  :class:`repro.api.client.ScoringClient`.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import (
+    Rule,
+    dotted_name,
+    methods_of,
+    walk_function_body,
+)
+
+
+def _lock_name(item: ast.withitem) -> str | None:
+    """``"_lock"`` for ``with self._lock:``-style items, else ``None``."""
+    expr = item.context_expr
+    # `with self._lock:` and `with self._lock.acquire_timeout(...):`
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+        if isinstance(expr, ast.Attribute):
+            expr = expr.value
+    name = dotted_name(expr)
+    if name and name.startswith("self."):
+        attr = name[len("self.") :]
+        if "lock" in attr.lower():
+            return attr
+    return None
+
+
+def _assigned_self_attrs(node) -> list:
+    """``self.<attr>`` names written by one statement node."""
+    targets: list = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    out: list = []
+    for target in targets:
+        for element in ast.walk(target):
+            if (
+                isinstance(element, ast.Attribute)
+                and isinstance(element.value, ast.Name)
+                and element.value.id == "self"
+            ):
+                out.append(element.attr)
+    return out
+
+
+def _with_lock_regions(method) -> list:
+    """``(with_node)`` for every ``with self.<lock>`` in *method*."""
+    regions: list = []
+    for node in walk_function_body(method, skip_nested=False):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(_lock_name(item) for item in node.items):
+                regions.append(node)
+    return regions
+
+
+def _nodes_under(parents) -> set:
+    """Identity set of every AST node inside any of *parents*."""
+    covered: set = set()
+    for parent in parents:
+        for node in ast.walk(parent):
+            covered.add(id(node))
+    return covered
+
+
+class _ClassFacts:
+    """Lock usage facts for one class."""
+
+    def __init__(self, cls: ast.ClassDef) -> None:
+        self.cls = cls
+        self.methods = methods_of(cls)
+        # attr -> guarded writes exist; bare writes: (method, attr, node)
+        self.guarded: set = set()
+        self.bare_writes: list = []
+        # method -> set of in-class call sites: (caller, under_lock)
+        self.call_sites: dict = {}
+        self._scan()
+
+    def _scan(self) -> None:
+        for name, method in self.methods.items():
+            covered = _nodes_under(_with_lock_regions(method))
+            for node in walk_function_body(method, skip_nested=False):
+                under = id(node) in covered
+                for attr in _assigned_self_attrs(node):
+                    if under:
+                        self.guarded.add(attr)
+                    elif name != "__init__":
+                        self.bare_writes.append((name, attr, node))
+                if isinstance(node, ast.Call):
+                    callee = dotted_name(node.func)
+                    if callee and callee.startswith("self."):
+                        target = callee[len("self.") :]
+                        if target in self.methods:
+                            self.call_sites.setdefault(target, []).append(
+                                (name, under)
+                            )
+
+    def lock_held_methods(self) -> set:
+        """Methods that provably run with the lock already held.
+
+        Fixpoint: a method qualifies when it has at least one in-class
+        call site and every call site is (a) under a ``with self.<lock>``,
+        (b) in ``__init__``, or (c) in an already-qualified method.
+        """
+        held: set = set()
+        changed = True
+        while changed:
+            changed = False
+            for name, sites in self.call_sites.items():
+                if name in held:
+                    continue
+                if all(
+                    under or caller == "__init__" or caller in held
+                    for caller, under in sites
+                ):
+                    held.add(name)
+                    changed = True
+        return held
+
+
+class LockDiscipline(Rule):
+    code = "RPL003"
+    name = "lock-discipline"
+    rationale = (
+        "an attribute written under `with self._lock` in one method "
+        "must not be written bare elsewhere in the class; the bare "
+        "write races with every guarded access"
+    )
+
+    def check(self, project):
+        for source in project.files:
+            for cls in [
+                n
+                for n in ast.walk(source.tree)
+                if isinstance(n, ast.ClassDef)
+            ]:
+                facts = _ClassFacts(cls)
+                if not facts.guarded:
+                    continue
+                held = facts.lock_held_methods()
+                for method, attr, node in facts.bare_writes:
+                    if attr not in facts.guarded:
+                        continue
+                    if method in held:
+                        continue
+                    yield self.finding(
+                        source.path,
+                        node,
+                        f"self.{attr} is written under the lock "
+                        f"elsewhere in {cls.name} but written bare in "
+                        f"{method}(); take the lock or document why "
+                        f"this write cannot race",
+                    )

@@ -1,0 +1,246 @@
+"""RPL001 — protocol consistency: verbs and error codes cannot drift.
+
+The scoring protocol has two sides that live in different modules: the
+server stack (``RequestEngine`` dispatch in ``transport.py``, the
+fleet admin verbs in ``fleet/router.py``, the hello handshake in
+``wire.py``) *handles* ``{"cmd": ...}`` verbs, and ``ScoringClient``
+*sends* them.  Nothing but convention keeps the two sets equal — a new
+verb handled by the engine with no client method (or a client method
+sending a verb no handler matches) is silent drift until a user hits
+it.  The same goes for error codes: every code emitted in a typed
+error frame must come from the registered ``ERROR_*`` vocabulary, the
+vocabulary must not carry dead codes no server ever emits, and the
+``ERROR_CODES`` tuple must list every code its module defines.
+
+Extraction is structural, not path-based:
+
+* **handled verb** — a comparison between a string literal and a value
+  obtained from ``<x>.get("cmd")`` (directly, or via a local name
+  assigned from it), e.g. ``if cmd == "stats":``;
+* **sent verb** — a dict literal with a ``"cmd"`` key holding a string
+  literal, e.g. ``{"cmd": "load_model", "model": spec}``;
+* **emitted code** — the first argument of an ``error_frame(...)``
+  call, or the ``code=`` keyword of a ``ScoringError(...)`` raise;
+* **defined code** — a module-level ``ERROR_* = "literal"`` constant.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.rules.base import (
+    Rule,
+    dotted_name,
+    str_const,
+    walk_function_body,
+)
+
+#: calls whose first positional argument is an emitted error code.
+_EMIT_CALLS = ("error_frame",)
+
+#: exception constructors whose ``code=`` keyword is an emitted code.
+_EMIT_EXCEPTIONS = ("ScoringError",)
+
+
+def _cmd_getter(node, cmd_names) -> bool:
+    """Is *node* a value carrying the request's ``cmd`` field?"""
+    if isinstance(node, ast.Name):
+        return node.id in cmd_names
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and len(node.args) >= 1
+        and str_const(node.args[0]) == "cmd"
+    )
+
+
+class _FileFacts:
+    """Everything RPL001 needs from one parsed file."""
+
+    def __init__(self, source) -> None:
+        self.path = source.path
+        self.handled: list = []  # (verb, node)
+        self.sent: list = []  # (verb, node)
+        self.emitted: list = []  # ((kind, value), node)
+        self.defined: dict = {}  # NAME -> (value, node)
+        self.error_codes_tuple: tuple | None = None  # (values, node)
+        self._scan(source.tree)
+
+    def _scan(self, tree: ast.Module) -> None:
+        for stmt in tree.body:
+            self._scan_module_assign(stmt)
+        for func in ast.walk(tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._scan_function(func)
+
+    def _scan_module_assign(self, stmt) -> None:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            return
+        target = stmt.targets[0]
+        if not isinstance(target, ast.Name):
+            return
+        if target.id == "ERROR_CODES":
+            values = []
+            if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                for element in stmt.value.elts:
+                    if isinstance(element, ast.Name):
+                        values.append(element.id)
+                    elif str_const(element) is not None:
+                        values.append(str_const(element))
+            self.error_codes_tuple = (values, stmt)
+        elif target.id.startswith("ERROR_"):
+            value = str_const(stmt.value)
+            if value is not None:
+                self.defined[target.id] = (value, stmt)
+
+    def _scan_function(self, func) -> None:
+        cmd_names: set = set()
+        # two passes so `cmd = request.get("cmd")` is known before the
+        # comparisons that use it, wherever they appear in the body
+        for node in walk_function_body(func, skip_nested=False):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and _cmd_getter(node.value, ())
+            ):
+                cmd_names.add(node.targets[0].id)
+        for node in walk_function_body(func, skip_nested=False):
+            self._scan_node(node, cmd_names)
+
+    def _scan_node(self, node, cmd_names) -> None:
+        if isinstance(node, ast.Compare):
+            operands = [node.left] + list(node.comparators)
+            if any(_cmd_getter(op, cmd_names) for op in operands):
+                for op in operands:
+                    value = str_const(op)
+                    if value is not None:
+                        self.handled.append((value, node))
+                    elif isinstance(op, (ast.Tuple, ast.List, ast.Set)):
+                        for element in op.elts:
+                            if str_const(element) is not None:
+                                self.handled.append((str_const(element), node))
+        elif isinstance(node, ast.Dict):
+            for key, value in zip(node.keys, node.values):
+                if str_const(key) == "cmd" and str_const(value) is not None:
+                    self.sent.append((str_const(value), node))
+        elif isinstance(node, ast.Call):
+            self._scan_call(node)
+
+    def _scan_call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        short = name.rsplit(".", 1)[-1] if name else None
+        if short in _EMIT_CALLS and node.args:
+            self._record_emit(node.args[0], node)
+        if short in _EMIT_EXCEPTIONS:
+            for keyword in node.keywords:
+                if keyword.arg == "code":
+                    self._record_emit(keyword.value, node)
+
+    def _record_emit(self, expr, node) -> None:
+        if isinstance(expr, ast.Name):
+            self.emitted.append((("name", expr.id), node))
+        elif str_const(expr) is not None:
+            self.emitted.append((("literal", str_const(expr)), node))
+        # dynamic expressions (response.get("code"), f-strings) are
+        # relays of an already-typed code, not new emissions
+
+
+class ProtocolConsistency(Rule):
+    code = "RPL001"
+    name = "protocol-consistency"
+    rationale = (
+        "every handled {'cmd': ...} verb must have a sender and vice "
+        "versa; error codes must come from the registered ERROR_* "
+        "vocabulary, with no dead entries"
+    )
+
+    def check(self, project):
+        facts = [_FileFacts(source) for source in project.files]
+        yield from self._check_verbs(facts)
+        yield from self._check_codes(facts)
+
+    def _check_verbs(self, facts):
+        handled: dict = {}
+        sent: dict = {}
+        for file_facts in facts:
+            for verb, node in file_facts.handled:
+                handled.setdefault(verb, (file_facts.path, node))
+            for verb, node in file_facts.sent:
+                sent.setdefault(verb, (file_facts.path, node))
+        if not handled or not sent:
+            # a project with only one protocol side (a fixture, a
+            # vendored module) has nothing to cross-check
+            return
+        for verb in sorted(set(handled) - set(sent)):
+            path, node = handled[verb]
+            yield self.finding(
+                path,
+                node,
+                f"verb {verb!r} is handled here but no scanned client "
+                f"code ever sends {{'cmd': {verb!r}}}; add the client "
+                f"method or retire the handler",
+            )
+        for verb in sorted(set(sent) - set(handled)):
+            path, node = sent[verb]
+            yield self.finding(
+                path,
+                node,
+                f"verb {verb!r} is sent here but no scanned handler "
+                f"compares against it; the server will answer "
+                f"bad_request",
+            )
+
+    def _check_codes(self, facts):
+        defined: dict = {}  # NAME -> (value, path, node)
+        values: set = set()
+        for file_facts in facts:
+            for const, (value, node) in file_facts.defined.items():
+                defined.setdefault(const, (value, file_facts.path, node))
+                values.add(value)
+        if not defined:
+            return
+        emitted_names: set = set()
+        emitted_values: set = set()
+        for file_facts in facts:
+            for (kind, value), node in file_facts.emitted:
+                if kind == "name":
+                    emitted_names.add(value)
+                    if value in defined:
+                        emitted_values.add(defined[value][0])
+                else:
+                    emitted_values.add(value)
+                    if value not in values:
+                        yield self.finding(
+                            file_facts.path,
+                            node,
+                            f"error code literal {value!r} is not a "
+                            f"registered ERROR_* constant; clients "
+                            f"cannot dispatch on unregistered codes",
+                        )
+        for const in sorted(defined):
+            value, path, node = defined[const]
+            if const not in emitted_names and value not in emitted_values:
+                yield self.finding(
+                    path,
+                    node,
+                    f"error code {const} = {value!r} is defined but "
+                    f"never emitted by any error_frame/ScoringError; "
+                    f"dead protocol vocabulary",
+                )
+        for file_facts in facts:
+            if file_facts.error_codes_tuple is None:
+                continue
+            listed, node = file_facts.error_codes_tuple
+            for const, (value, path, _) in sorted(defined.items()):
+                if path != file_facts.path:
+                    continue
+                if const not in listed and value not in listed:
+                    yield self.finding(
+                        file_facts.path,
+                        node,
+                        f"{const} is defined in this module but "
+                        f"missing from ERROR_CODES; the tuple is the "
+                        f"protocol's published vocabulary",
+                    )

@@ -354,6 +354,24 @@ def main(argv=None) -> int:
                           "JSON-lines)")
     _add_dataset_opts(srv)
 
+    lnt = sub.add_parser(
+        "lint", help="protocol- and concurrency-aware static analysis "
+                     "of the repro sources (rules RPL001-RPL005; also "
+                     "'python -m repro.analysis')")
+    lnt.add_argument("paths", nargs="*",
+                     help="files or directories to analyze (default: "
+                          "the installed repro package source)")
+    lnt.add_argument("--select", default=None, metavar="RULE[,RULE...]",
+                     help="run only these rule codes")
+    lnt.add_argument("--disable", default=None, metavar="RULE[,RULE...]",
+                     help="skip these rule codes")
+    lnt.add_argument("--format", choices=("text", "json"), default="text",
+                     help="report format (default text)")
+    lnt.add_argument("--show-waived", action="store_true",
+                     help="include waived findings in text output")
+    lnt.add_argument("--list-rules", action="store_true",
+                     help="print the rule catalog and exit")
+
     args = parser.parse_args(argv)
     profile = args.profile or active_profile()
 
@@ -366,6 +384,22 @@ def main(argv=None) -> int:
     if args.command == "energy-model":
         print(format_model_table(EnergyModel.paper_table1()))
         return 0
+
+    if args.command == "lint":
+        from repro.analysis import main as lint_main
+
+        lint_argv = list(args.paths)
+        if args.select:
+            lint_argv += ["--select", args.select]
+        if args.disable:
+            lint_argv += ["--disable", args.disable]
+        if args.format != "text":
+            lint_argv += ["--format", args.format]
+        if args.show_waived:
+            lint_argv.append("--show-waived")
+        if args.list_rules:
+            lint_argv.append("--list-rules")
+        return lint_main(lint_argv)
 
     if args.command == "simulate":
         kernel = _build_kernel(args)

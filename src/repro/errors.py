@@ -66,6 +66,11 @@ class FleetError(ReproError):
     a micro-batch scheduler used after shutdown."""
 
 
+class AnalysisError(ReproError):
+    """Raised by the static-analysis suite (:mod:`repro.analysis`):
+    unparseable target files, unknown rule codes, bad lint usage."""
+
+
 class ScoringError(ReproError):
     """Raised by :class:`repro.api.client.ScoringClient` on transport
     failures or typed error frames from the scoring daemon."""
