@@ -323,7 +323,9 @@ class TestModelFleetRouter:
 
     def test_unknown_verb_answers_bad_request(self, tree_clf):
         fleet, _ = self._fleet(tree_clf)
-        frame = fleet.handle_request({"cmd": "frobnicate", "id": 3})
+        # deliberately unknown verb: the bad_request path under test
+        frame = fleet.handle_request(
+            {"cmd": "frobnicate", "id": 3})  # repro: noqa[RPL001]
         assert frame["ok"] is False
         assert frame["code"] == "bad_request"
         assert frame["id"] == 3
