@@ -69,6 +69,39 @@ SMOKE_KERNELS = ("gemm", "atax", "fir", "stream_triad")
 FOREST_SPEC = "forest:static-agg:unit"
 
 
+class SmokeFailure(AssertionError):
+    """A smoke check failed; the message carries the full diagnosis."""
+
+
+def check_identical(label: str, got: list, want: list) -> None:
+    """Byte-identity check with an actionable diff on failure.
+
+    A bare ``assert got == want`` exits non-zero but tells CI nothing;
+    this names the leg that diverged and prints the first mismatching
+    indices with both values, so a codec or batching regression is
+    diagnosable from the log alone.
+    """
+    if got == want:
+        return
+    lines = [f"{label}: predictions diverged"]
+    if len(got) != len(want):
+        lines.append(
+            f"  length mismatch: got {len(got)} rows, want {len(want)}"
+        )
+    mismatches = [
+        i for i, (g, w) in enumerate(zip(got, want)) if g != w
+    ]
+    shown = mismatches[:10]
+    for index in shown:
+        lines.append(
+            f"  row {index}: got {got[index]!r}, want {want[index]!r}"
+        )
+    hidden = len(mismatches) - len(shown)
+    if hidden > 0:
+        lines.append(f"  ... and {hidden} more mismatching row(s)")
+    raise SmokeFailure("\n".join(lines))
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", type=int, default=100)
@@ -174,6 +207,12 @@ def main(argv=None) -> int:
                 thread.start()
             for thread in threads:
                 thread.join(timeout=120)
+            hung = [i for i, t in enumerate(threads) if t.is_alive()]
+            if hung:
+                raise SmokeFailure(
+                    f"client thread(s) {hung} still running after the "
+                    f"120s join timeout; the daemon has stalled"
+                )
         # post-stop read: stop() drains the pool, so every connection
         # handler has finished its bookkeeping by now
         stats = daemon.stats()
@@ -183,10 +222,17 @@ def main(argv=None) -> int:
             raise errors[0]
         scored = 0
         for slot in range(args.clients):
+            if results[slot] is None:
+                raise SmokeFailure(
+                    f"client {slot} produced no result (worker died "
+                    f"without raising?)"
+                )
             spec, batch, singles = results[slot]
             want = [int(p) for p in expected[spec][slot :: args.clients]]
-            assert batch == want, f"client {slot} batch diverged ({spec})"
-            assert singles == want, f"client {slot} singles diverged ({spec})"
+            check_identical(f"client {slot} batch ({spec})", batch, want)
+            check_identical(
+                f"client {slot} singles ({spec})", singles, want
+            )
             scored += len(batch) + len(singles)
         assert stats["connections_served"] == args.clients + 1
         assert not os.path.exists(socket_path), "socket not unlinked"
@@ -237,7 +283,7 @@ def main(argv=None) -> int:
                 got = client.predict_pipelined(
                     [list(map(float, row)) for row in rows], window=16
                 )
-                assert got == want, "sharded pipelined diverged"
+                check_identical("sharded pipelined (json)", got, want)
             # same rows again over a negotiated binary connection —
             # the forked shard daemons speak both codecs
             with ScoringClient(socket_path=base,
@@ -246,8 +292,14 @@ def main(argv=None) -> int:
                 got = client.predict_pipelined(
                     [list(map(float, row)) for row in rows], window=16
                 )
-                assert got == want, "sharded binary pipelined diverged"
-                assert client.predict_batch(rows) == want
+                check_identical(
+                    "sharded pipelined (binary-v1)", got, want
+                )
+                check_identical(
+                    "sharded batch (binary-v1)",
+                    client.predict_batch(rows),
+                    want,
+                )
             shard_requests = {}
             for row in registry:
                 with ScoringClient(socket_path=row["path"]) as client:
@@ -277,6 +329,9 @@ def main(argv=None) -> int:
             f"clean fan-out shutdown"
         )
         return 0
+    except SmokeFailure as failure:
+        print(f"daemon smoke FAILED:\n{failure}", file=sys.stderr)
+        return 1
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 

@@ -490,27 +490,40 @@ def collect_stats(base_path: str, timeout: float = 10.0) -> dict:
          "active_connections": total,
          "codec": merged codec section or None}
 
-    Dead shards are skipped (their row is ``{"shard": {...},
-    "error": str}``) rather than failing the whole collection.
+    Dead or malformed shards are skipped (their row is ``{"shard":
+    {...}, "error": str}``, plus a ``"code"`` field when the failure
+    carried a typed :class:`~repro.errors.ScoringError` code) rather
+    than failing the whole collection: a shard dying between the
+    registry read and the connect is an expected race, not a reason to
+    lose the stats of the survivors.
     """
     from repro.api.client import ScoringClient
+    from repro.errors import ScoringError
 
     rows = read_registry(base_path)
     if rows is None:
         endpoints = [(None, base_path)]
     else:
-        endpoints = [(s.get("index"), s["path"]) for s in rows]
+        endpoints = [(s.get("index"), s.get("path")) for s in rows]
     per_shard: list = []
     totals = {"requests_served": 0, "connections_served": 0,
               "active_connections": 0}
     codec_sections: list = []
     for index, path in endpoints:
+        if not isinstance(path, str) or not path:
+            per_shard.append({"shard": {"index": index, "path": path},
+                              "error": "registry row has no usable "
+                                       "'path'"})
+            continue
         try:
             with ScoringClient(socket_path=path, timeout=timeout) as client:
                 payload = client.stats()
         except Exception as exc:  # dead shard: report, do not fail
-            per_shard.append({"shard": {"index": index, "path": path},
-                              "error": str(exc)})
+            row = {"shard": {"index": index, "path": path},
+                   "error": str(exc)}
+            if isinstance(exc, ScoringError) and exc.code is not None:
+                row["code"] = exc.code
+            per_shard.append(row)
             continue
         if index is not None:
             payload.setdefault("shard", {"index": index})

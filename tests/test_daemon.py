@@ -367,12 +367,98 @@ class TestScoringClient:
                 client.request({"cmd": "info"})
 
 
+class TestCollectStats:
+    """collect_stats must survive shards dying under it (the registry
+    read -> connect window is an unavoidable race)."""
+
+    def test_dead_shard_becomes_error_row(self, trained, tmp_path):
+        from repro.api.shard import collect_stats, write_registry
+
+        live = str(tmp_path / "live.sock")
+        dead = str(tmp_path / "dead.sock")  # never bound
+        base = str(tmp_path / "fleet.sock")
+        with ScoringDaemon(trained, socket_path=live, workers=1):
+            with ScoringClient(socket_path=live) as client:
+                client.predict([0.0] * len(trained.feature_names_))
+            write_registry(base, [
+                {"index": 0, "path": live, "pid": os.getpid()},
+                {"index": 1, "path": dead, "pid": 999999},
+            ])
+            stats = collect_stats(base, timeout=2.0)
+        assert len(stats["shards"]) == 2
+        ok_row, err_row = stats["shards"]
+        assert "error" not in ok_row
+        assert err_row["shard"] == {"index": 1, "path": dead}
+        assert err_row["error"]
+        assert err_row["code"] == "transport"
+        # the live shard's counters still aggregate
+        assert stats["requests_served"] >= 1
+        assert stats["connections_served"] >= 1
+
+    def test_all_shards_dead_still_returns(self, tmp_path):
+        from repro.api.shard import collect_stats, write_registry
+
+        base = str(tmp_path / "fleet.sock")
+        write_registry(base, [
+            {"index": 0, "path": str(tmp_path / "a.sock"), "pid": 1},
+            {"index": 1, "path": str(tmp_path / "b.sock"), "pid": 2},
+        ])
+        stats = collect_stats(base, timeout=2.0)
+        assert [r["shard"]["index"] for r in stats["shards"]] == [0, 1]
+        assert all(r["error"] for r in stats["shards"])
+        assert stats["requests_served"] == 0
+        assert stats["codec"] is None
+
+    def test_plain_dead_endpoint_is_one_error_row(self, tmp_path):
+        from repro.api.shard import collect_stats
+
+        stats = collect_stats(str(tmp_path / "gone.sock"), timeout=2.0)
+        assert len(stats["shards"]) == 1
+        assert stats["shards"][0]["error"]
+        assert stats["shards"][0]["code"] == "transport"
+
+
 class TestSmokeScript:
     def test_daemon_smoke_main(self, capsys):
         from scripts.daemon_smoke import main as smoke_main
         assert smoke_main(["--rows", "24", "--clients", "3"]) == 0
         out = capsys.readouterr().out
         assert "daemon smoke OK" in out
+
+    def test_byte_identity_diff_is_actionable(self):
+        from scripts.daemon_smoke import SmokeFailure, check_identical
+
+        check_identical("leg", [1, 2, 3], [1, 2, 3])  # identical: quiet
+        with pytest.raises(SmokeFailure) as excinfo:
+            check_identical("client 2 batch", list(range(40)),
+                            [0, 9] + list(range(2, 40)))
+        message = str(excinfo.value)
+        assert "client 2 batch" in message
+        assert "row 1: got 1, want 9" in message
+        with pytest.raises(SmokeFailure, match="length mismatch"):
+            check_identical("leg", [1, 2], [1])
+        with pytest.raises(SmokeFailure, match="and 2 more"):
+            check_identical("leg", [0] * 12, [1] * 12)
+
+    def test_smoke_failure_exits_nonzero(self, capsys, monkeypatch):
+        """A diverging prediction must turn into exit 1 + a diff on
+        stderr, not a traceback."""
+        import scripts.daemon_smoke as smoke
+
+        real = smoke.check_identical
+
+        def sabotage(label, got, want):
+            if label.startswith("client 0 batch"):
+                got = list(got)
+                got[0] += 1
+            real(label, got, want)
+
+        monkeypatch.setattr(smoke, "check_identical", sabotage)
+        assert smoke.main(["--rows", "12", "--clients", "2"]) == 1
+        err = capsys.readouterr().err
+        assert "daemon smoke FAILED" in err
+        assert "client 0 batch" in err
+        assert "row 0: got" in err
 
 
 def test_predictions_byte_identical_to_predict_batch_json(
