@@ -20,8 +20,11 @@ endpoint, counts interleaved per round — and (h) the **wire codec x
 inference backend** matrix: json+reference, json+compiled and
 binary+compiled variants of the one-connection batched daemon path
 (plus single-row p50), alternating variants inside each measurement
-round so the recorded ratios are paired — then writes the numbers
-to ``BENCH_pipeline.json`` so later PRs
+round so the recorded ratios are paired — and (i) the **supervised
+churn** leg: a ShardSupervisor-managed fleet hammered quiet and with
+a shard SIGKILLed mid-flight in the same time window, recording the
+throughput retained while the supervisor heals — then writes the
+numbers to ``BENCH_pipeline.json`` so later PRs
 can track the trajectory.  With ``--skip-build`` the previous file's
 ``cold_build`` section is carried over instead of dropped.
 
@@ -650,6 +653,133 @@ def bench_shards(shard_counts=(1, 2, 4), clients: int = 4,
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def bench_supervised_churn(shards: int = 2, clients: int = 4,
+                           requests_per_client: int = 500,
+                           rounds: int = 3) -> dict:
+    """Supervised fleet throughput under kill churn, interleaved paired.
+
+    One :class:`repro.api.ShardSupervisor`-managed *shards*-shard fleet
+    behind a unix registry.  Each round measures the same pipelined
+    hammer twice in the same time window: once quiet, once with a
+    shard SIGKILLed mid-flight — the supervisor respawns the victim
+    and refreshes the registry while the clients reconnect through it
+    (``reconnect_retries``).  Zero failed requests are tolerated and
+    every prediction is asserted byte-identical to the local
+    classifier; the recorded number is the median throughput retained
+    under churn relative to the paired quiet runs.
+    """
+    import functools
+    import signal
+    import threading
+
+    from repro.api import (
+        Classifier,
+        ReproConfig,
+        ScoringClient,
+        ShardManager,
+        ShardSupervisor,
+    )
+    from repro.api.shard import fleet_factory, read_registry
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_churn_")
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        clf = Classifier(ReproConfig(profile="unit")).train(dataset)
+        artifact = os.path.join(workdir, "model.json")
+        clf.save(artifact)
+        X = dataset.matrix(clf.feature_names_)
+        base_rows = [list(map(float, row)) for row in X]
+        reps = max(1, -(-requests_per_client // len(base_rows)))
+        rows = (base_rows * reps)[:requests_per_client]
+        expected = [int(p) for p in clf.predict_batch(np.asarray(rows))]
+        factory = functools.partial(fleet_factory, model_path=artifact,
+                                    profile="unit")
+        base = os.path.join(workdir, "churn.sock")
+
+        def hammer() -> float:
+            errors: list = []
+
+            def worker() -> None:
+                try:
+                    with ScoringClient(socket_path=base,
+                                       reconnect_retries=16) as cl:
+                        got = cl.predict_pipelined(rows, window=32)
+                    if got != expected:
+                        raise AssertionError("supervised-churn "
+                                             "predictions diverged")
+                except Exception as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(clients)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+            if errors:
+                # a dropped request under churn must fail the benchmark
+                # loudly, not quietly deflate the retention number
+                raise errors[0]
+            return round(clients * len(rows) / wall, 1)
+
+        quiet_runs, churn_runs = [], []
+        kills = 0
+        with ShardManager(factory, shards=shards, socket_path=base,
+                          workers=4) as manager, \
+                ShardSupervisor(manager, interval=0.2) as supervisor:
+            hammer()  # warm-up (children page in numpy)
+            for round_index in range(rounds):
+                quiet_runs.append(hammer())
+                victim_pid = manager.pids[round_index % shards]
+                killer = threading.Timer(
+                    0.05, os.kill, args=(victim_pid, signal.SIGKILL))
+                killer.start()
+                churn_runs.append(hammer())
+                killer.join()
+                kills += 1
+                # wait for the heal before the next paired quiet run,
+                # so each round starts from a full fleet
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    registry = read_registry(base) or []
+                    pids = {row["pid"] for row in registry}
+                    if len(pids) == shards and victim_pid not in pids:
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise AssertionError(
+                        "supervisor did not respawn the killed shard "
+                        "within 30s")
+            heals = sum(1 for event in supervisor.events
+                        if event["event"] == "respawn")
+        if heals != kills:
+            raise AssertionError(
+                f"expected {kills} respawn events, saw {heals}")
+        quiet = sorted(quiet_runs)[rounds // 2]
+        churn = sorted(churn_runs)[rounds // 2]
+        return {
+            "transport": "unix",
+            "shards": shards,
+            "clients": clients,
+            "requests": clients * len(rows),
+            "rounds": rounds,
+            "pipeline_window": 32,
+            "kills": kills,
+            "heals": heals,
+            "quiet_rows_per_sec": quiet,
+            "churn_rows_per_sec": churn,
+            "throughput_retention": round(churn / quiet, 2),
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def bench_codec_backend(batch_rows: int = 10_000, rounds: int = 5,
                         single_requests: int = 300) -> dict:
     """Wire codec x inference backend matrix, interleaved paired.
@@ -905,6 +1035,15 @@ def main(argv=None) -> int:
         print(f"  {level['shards']} shard(s): "
               f"{level['rows_per_sec']} rows/s "
               f"({level['speedup_vs_1_shard']}x vs 1 shard)")
+
+    print("supervised fleet under kill churn (interleaved paired) ...",
+          flush=True)
+    results["supervisor"] = bench_supervised_churn()
+    churn = results["supervisor"]
+    print(f"  quiet {churn['quiet_rows_per_sec']} rows/s, "
+          f"churn {churn['churn_rows_per_sec']} rows/s "
+          f"({churn['kills']} kills, {churn['heals']} heals) -> "
+          f"{churn['throughput_retention']}x retained")
 
     print("wire codec x backend matrix (interleaved rounds) ...",
           flush=True)

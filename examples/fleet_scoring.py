@@ -22,6 +22,7 @@ import shutil
 import tempfile
 
 from repro.api import (
+    AdminClient,
     Classifier,
     MicroBatcher,
     ModelFleet,
@@ -70,13 +71,14 @@ def main() -> None:
         with ScoringDaemon(fleet=fleet, socket_path=socket_path,
                            workers=4):
             with ScoringClient(socket_path=socket_path) as client:
-                listing = client.list_models()
-                print(f"fleet serves {len(listing['models'])} models "
+                admin = AdminClient(client)
+                listing = admin.list_models()
+                print(f"fleet serves {len(listing)} models "
                       f"on {socket_path}:")
-                for entry in listing["models"]:
-                    marker = " (default)" if entry["default"] else ""
-                    print(f"  {entry['model']:<28}"
-                          f"{entry['size_bytes']:>8} B{marker}")
+                for entry in listing:
+                    marker = " (default)" if entry.default else ""
+                    print(f"  {entry.model:<28}"
+                          f"{entry.size_bytes:>8} B{marker}")
 
                 print("\nkernel      default  tree:agg  forest:agg")
                 for name in ("trisolv", "histogram", "jacobi-1d"):
@@ -88,7 +90,7 @@ def main() -> None:
                     print(f"{name:<12}{row[0]:^7}{row[1]:^10}{row[2]:^10}")
 
                 # -- admin: evict, then transparently reload -----------
-                client.evict_model("forest:static-agg")
+                admin.evict_model("forest:static-agg")
                 cores = client.predict_kernel("trisolv", size=1024,
                                               model="forest:static-agg")
                 print(f"\nforest evicted and transparently reloaded "

@@ -20,13 +20,20 @@ Then the **sharded** leg: a ``--shards``-process
 :class:`repro.api.ShardManager` deployment behind one unix shard
 registry, pipelined JSON *and* binary client round trips through it
 (``predict_pipelined``, byte-identical again), per-shard stats via the
-registry plus the :func:`repro.api.collect_stats` aggregation, and
-clean fan-out shutdown (registry and shard sockets gone).  Exit code 0
-means both deployment paths work end to end.
+registry plus the :func:`repro.api.admin.collect_stats` aggregation,
+and clean fan-out shutdown (registry and shard sockets gone).  Exit
+code 0 means both deployment paths work end to end.
+
+``--kill-storm`` runs the self-healing leg instead: a supervised
+(:class:`repro.api.ShardSupervisor`) fleet under sustained pipelined
+load while shards are repeatedly SIGKILLed, then a rolling restart
+under the same load, then a zero-downtime hot swap — and not one
+request may fail (client retries re-resolve the refreshed registry).
 
 Run from the repo root::
 
     PYTHONPATH=src python scripts/daemon_smoke.py [--rows 100]
+    PYTHONPATH=src python scripts/daemon_smoke.py --kill-storm
 """
 
 from __future__ import annotations
@@ -35,9 +42,11 @@ import argparse
 import functools
 import os
 import shutil
+import signal
 import sys
 import tempfile
 import threading
+import time
 
 sys.path.insert(
     0,
@@ -47,6 +56,7 @@ sys.path.insert(
 import numpy as np  # noqa: E402
 
 from repro.api import (  # noqa: E402
+    AdminClient,
     CODEC_BINARY,
     CODEC_JSON,
     MicroBatcher,
@@ -56,10 +66,12 @@ from repro.api import (  # noqa: E402
     ScoringClient,
     ScoringDaemon,
     ShardManager,
+    ShardSupervisor,
     classifier_factory,
-    collect_stats,
     load_or_train,
+    registry_epoch,
 )
+from repro.api.admin import collect_stats  # noqa: E402
 from repro.api.shard import read_registry  # noqa: E402
 from repro.dataset.build import build_dataset  # noqa: E402
 from repro.dataset.registry import get_kernel_spec  # noqa: E402
@@ -67,6 +79,10 @@ from repro.errors import FleetError  # noqa: E402
 
 SMOKE_KERNELS = ("gemm", "atax", "fir", "stream_triad")
 FOREST_SPEC = "forest:static-agg:unit"
+TREE_SPEC = "tree:static-all:unit"
+#: the kill-storm hot-swap target shares the tree's feature set, so
+#: one probe row matrix scores against both models
+STORM_SWAP_SPEC = "forest:static-all:unit"
 
 
 class SmokeFailure(AssertionError):
@@ -102,6 +118,182 @@ def check_identical(label: str, got: list, want: list) -> None:
     raise SmokeFailure("\n".join(lines))
 
 
+def _storm_fleet_factory(paths: dict):
+    """Shard factory for the kill-storm leg: prebuilt artifacts only.
+
+    Module-level (and built from plain strings) so respawned shard
+    processes can rebuild the exact same fleet regardless of the
+    multiprocessing start method.
+    """
+    from repro.api import Classifier
+
+    variants = {spec: Classifier.load(path)
+                for spec, path in paths.items()}
+
+    def loader(key):
+        try:
+            return variants[key.spec]
+        except KeyError:
+            raise FleetError(f"unexpected lazy load of {key.spec!r}")
+
+    pool = ModelPool(loader=loader, default_tag="unit")
+    return ModelFleet(
+        pool,
+        MicroBatcher(max_batch=16, max_delay_us=1000),
+        default=variants[TREE_SPEC],
+    )
+
+
+def kill_storm(args, workdir: str) -> int:
+    """The self-healing leg: SIGKILL storm, rolling restart, hot swap.
+
+    A supervised ``--shards``-process fleet serves sustained pipelined
+    load from ``--clients`` threads (each pinning the tree explicitly,
+    so the later promotion cannot change what they assert against)
+    while shards are SIGKILLed ``--storm-kills`` times and then the
+    whole fleet is cycled through a rolling restart.  Zero failed
+    requests are tolerated: a retried request must re-resolve the
+    refreshed registry and land on a live shard.  With the load
+    quiesced, a hot swap canary-scores and promotes the forest and the
+    default route must answer byte-identically to the local model on
+    every shard.
+    """
+    specs = [get_kernel_spec(name) for name in SMOKE_KERNELS]
+    dataset = build_dataset(
+        "unit", specs=specs, cache_dir=os.path.join(workdir, "sim_cache"))
+    model_dir = os.path.join(workdir, "models")
+    tree, _ = load_or_train(
+        ReproConfig(profile="unit"), dataset=dataset, cache_dir=model_dir)
+    forest, _ = load_or_train(
+        ReproConfig(profile="unit", model="forest",
+                    model_params={"n_estimators": 10}),
+        dataset=dataset, cache_dir=model_dir)
+
+    base_rows = dataset.matrix(tree.feature_names_)
+    reps = -(-args.rows // len(base_rows))
+    tiled = np.tile(base_rows, (reps, 1))[: args.rows]
+    rows = tiled.astype(np.float32).astype(np.float64).tolist()
+    want_tree = [int(p) for p in tree.predict_batch(rows)]
+    want_forest = [int(p) for p in forest.predict_batch(rows)]
+
+    paths = {TREE_SPEC: os.path.join(workdir, "tree.json"),
+             STORM_SWAP_SPEC: os.path.join(workdir, "forest.json")}
+    tree.save(paths[TREE_SPEC])
+    forest.save(paths[STORM_SWAP_SPEC])
+
+    base = os.path.join(workdir, "storm.sock")
+    manager = ShardManager(
+        functools.partial(_storm_fleet_factory, paths),
+        shards=args.shards, socket_path=base, workers=4)
+    failures: list = []
+    batches = [0] * args.clients
+    stop = threading.Event()
+
+    def hammer(slot: int) -> None:
+        try:
+            with ScoringClient(socket_path=base,
+                               reconnect_retries=16) as client:
+                while not stop.is_set():
+                    got = client.predict_pipelined(
+                        rows, model="tree:static-all", window=16)
+                    check_identical(f"storm client {slot}", got, want_tree)
+                    batches[slot] += 1
+        except Exception as exc:  # surfaced below as a failure
+            failures.append(exc)
+
+    with manager, ShardSupervisor(manager, interval=0.2) as supervisor:
+        threads = [threading.Thread(target=hammer, args=(slot,))
+                   for slot in range(args.clients)]
+        for thread in threads:
+            thread.start()
+        try:
+            # -- the storm: SIGKILL shards under load, healing must
+            # keep the registry full and the traffic flowing
+            killed: list = []
+            for round_no in range(args.storm_kills):
+                victim = round_no % args.shards
+                pid = manager.pids[victim]
+                os.kill(pid, signal.SIGKILL)
+                killed.append(pid)
+                deadline = time.monotonic() + 30
+                while time.monotonic() < deadline:
+                    proc = manager.proc(victim)
+                    if proc.is_alive() and proc.pid != pid:
+                        break
+                    time.sleep(0.05)
+                else:
+                    raise SmokeFailure(
+                        f"shard {victim} (pid {pid}) was not respawned "
+                        f"within 30s of its SIGKILL")
+                time.sleep(0.3)  # let traffic flow between kills
+
+            # -- rolling restart under the same load
+            restarted = supervisor.rolling_restart()
+            if len(restarted) != args.shards:
+                raise SmokeFailure(
+                    f"rolling restart returned {restarted}, expected "
+                    f"{args.shards} replacement pids")
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=120)
+        if any(t.is_alive() for t in threads):
+            raise SmokeFailure("storm client thread(s) hung")
+        if failures:
+            raise failures[0]
+        if not all(batches):
+            raise SmokeFailure(
+                f"every storm client must complete at least one "
+                f"batch, got {batches}")
+
+        # -- zero-downtime hot swap, gated on the local predictions
+        report = supervisor.hot_swap("forest:static-all", rows,
+                                     expected=want_forest)
+        if not report.identical:
+            raise SmokeFailure(
+                f"hot swap promoted {report.model} but shard default "
+                f"routes diverged from the canary")
+        with ScoringClient(socket_path=base) as client:
+            check_identical("post-swap default route",
+                            client.predict_batch(rows), want_forest)
+
+        # -- the registry survived the churn: N live rows, every
+        # killed pid replaced, epoch strictly grew with each refresh
+        registry = read_registry(base)
+        if len(registry) != args.shards:
+            raise SmokeFailure(f"registry holds {registry}, expected "
+                               f"{args.shards} live rows")
+        final_pids = {row["pid"] for row in registry}
+        if final_pids != set(manager.pids) or final_pids & set(killed):
+            raise SmokeFailure(
+                f"registry pids {final_pids} do not match the live "
+                f"fleet {manager.pids} (killed: {killed})")
+        epoch = registry_epoch(base)
+        # one refresh per respawn plus one per drain/deregister
+        if epoch < args.storm_kills + 2 * args.shards:
+            raise SmokeFailure(
+                f"registry epoch {epoch} too low for "
+                f"{args.storm_kills} heals + a rolling restart")
+        respawns = sum(1 for e in supervisor.events
+                       if e["event"] == "respawn")
+        if respawns != args.storm_kills:
+            raise SmokeFailure(
+                f"supervisor healed {respawns} times, expected "
+                f"{args.storm_kills}")
+    if os.path.exists(base):
+        raise SmokeFailure("registry not removed after stop")
+
+    print(
+        f"kill-storm smoke OK: {sum(batches)} pipelined batches x "
+        f"{len(rows)} rows across {args.clients} clients with zero "
+        f"failures, {args.storm_kills} SIGKILLs healed, rolling "
+        f"restart {restarted}, hot swap to {report.model} "
+        f"byte-identical on {len(report.promoted)} shards, "
+        f"registry epoch {epoch}, clean fan-out shutdown"
+    )
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rows", type=int, default=100)
@@ -109,10 +301,17 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=8)
     parser.add_argument("--max-batch", type=int, default=16)
     parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--kill-storm", action="store_true",
+                        help="run the supervised self-healing leg "
+                             "instead of the serving legs")
+    parser.add_argument("--storm-kills", type=int, default=6,
+                        help="SIGKILLs delivered during --kill-storm")
     args = parser.parse_args(argv)
 
     workdir = tempfile.mkdtemp(prefix="daemon_smoke_")
     try:
+        if args.kill_storm:
+            return kill_storm(args, workdir)
         specs = [get_kernel_spec(name) for name in SMOKE_KERNELS]
         dataset = build_dataset(
             "unit",
@@ -191,13 +390,15 @@ def main(argv=None) -> int:
             workers=args.workers,
         )
         with daemon:
-            with ScoringClient(socket_path=socket_path) as admin:
+            with AdminClient(socket_path=socket_path) as admin:
                 listing = admin.list_models()
-                assert len(listing["models"]) == 2, listing
+                assert len(listing) == 2, listing
+                assert listing.default.model == TREE_SPEC, listing
                 # evict + warm reload round trip over the wire
                 assert admin.evict_model(FOREST_SPEC) is True
                 assert admin.load_model(FOREST_SPEC) == FOREST_SPEC
-                assert len(admin.list_models()["models"]) == 2
+                assert len(admin.list_models()) == 2
+                assert admin.health().serving
 
             threads = [
                 threading.Thread(target=worker, args=(slot,))
@@ -302,17 +503,18 @@ def main(argv=None) -> int:
                 )
             shard_requests = {}
             for row in registry:
-                with ScoringClient(socket_path=row["path"]) as client:
-                    shard_stats = client.stats()
+                with AdminClient(socket_path=row["path"]) as admin:
+                    shard_stats = admin.stats()
                     assert shard_stats["shard"]["pid"] == row["pid"]
                     shard_requests[shard_stats["shard"]["index"]] = (
                         shard_stats["server"]["requests_served"]
                     )
             assert sorted(shard_requests) == list(range(args.shards))
             aggregated = collect_stats(base)
-            assert len(aggregated["shards"]) == args.shards, aggregated
-            assert aggregated["requests_served"] >= 2 * len(rows) + 1
-            merged_codec = aggregated["codec"]
+            assert len(aggregated.shards) == args.shards, aggregated
+            assert aggregated.live_shards == args.shards, aggregated
+            assert aggregated.requests_served >= 2 * len(rows) + 1
+            merged_codec = aggregated.codec
             assert merged_codec["connections"].get(CODEC_BINARY, 0) >= 1, (
                 merged_codec
             )
@@ -325,7 +527,7 @@ def main(argv=None) -> int:
             f"shard smoke OK: {len(rows)} pipelined predictions x 2 "
             f"codecs across {args.shards} shards, per-shard requests "
             f"{shard_requests}, aggregated "
-            f"{aggregated['requests_served']} requests, "
+            f"{aggregated.requests_served} requests, "
             f"clean fan-out shutdown"
         )
         return 0

@@ -23,8 +23,11 @@ multi-model fleet) resident behind a Unix/TCP socket and answers the
 JSON-lines protocol for many concurrent clients — every transport
 (stdio, threaded daemon, event loop) dispatches through the unified
 core in :mod:`repro.api.transport`.  :class:`ShardManager` scales that
-to N daemon processes behind one endpoint; :class:`ScoringClient` is
-the wire client (sequential and pipelined); and :func:`load_or_train`
+to N daemon processes behind one endpoint and
+:class:`ShardSupervisor` keeps the fleet healthy (crash respawn,
+graceful drain, rolling restart, zero-downtime model hot-swap);
+:class:`ScoringClient` is the wire client (sequential and pipelined),
+:class:`AdminClient` the typed fleet-ops surface; and :func:`load_or_train`
 caches trained model artifacts keyed on ``(dataset tag, CODE_VERSION,
 model family, feature set)`` — bounded in age by
 ``$REPRO_ARTIFACT_TTL`` — so identical configurations never retrain.
@@ -56,6 +59,13 @@ from repro.api.classifier import (
     evaluate_features,
     kernel_features,
 )
+from repro.api.admin import (
+    AdminClient,
+    FleetStats,
+    ModelInfo,
+    ModelListing,
+    ShardHealth,
+)
 from repro.api.client import DEFAULT_PIPELINE_WINDOW, ScoringClient
 from repro.api.daemon import (
     DEFAULT_WORKERS,
@@ -67,6 +77,11 @@ from repro.api.shard import (
     classifier_factory,
     collect_stats,
     fleet_factory,
+    registry_epoch,
+)
+from repro.api.supervisor import (
+    HotSwapReport,
+    ShardSupervisor,
 )
 from repro.api.transport import (
     EventLoopServer,
@@ -135,12 +150,20 @@ __all__ = [
     "ModelFleet",
     "ModelKey",
     "ModelPool",
+    "AdminClient",
+    "FleetStats",
+    "ModelInfo",
+    "ModelListing",
+    "ShardHealth",
     "ScoringClient",
     "ScoringDaemon",
     "ShardManager",
+    "ShardSupervisor",
+    "HotSwapReport",
     "classifier_factory",
     "collect_stats",
     "fleet_factory",
+    "registry_epoch",
     "BACKEND_COMPILED",
     "BACKEND_REFERENCE",
     "BACKENDS",

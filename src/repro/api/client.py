@@ -59,9 +59,12 @@ Usage::
 
 Against a fleet daemon (see :mod:`repro.api.fleet`) every scoring verb
 accepts ``model="family:feature_set[:dataset_tag]"`` to pick the
-serving model per request, and the admin verbs
-:meth:`ScoringClient.list_models` / :meth:`ScoringClient.load_model` /
-:meth:`ScoringClient.evict_model` manage the resident set.
+serving model per request.  The admin/ops verbs (stats, model
+management, drain/health/promote) live on the typed
+:class:`repro.api.admin.AdminClient` surface; the historical
+:meth:`ScoringClient.stats` / :meth:`ScoringClient.list_models` /
+:meth:`ScoringClient.load_model` / :meth:`ScoringClient.evict_model`
+methods survive as delegating shims that emit ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -70,9 +73,10 @@ import json
 import os
 import socket
 import threading
+import warnings
 from collections import deque
 
-from repro.api.protocol import MAX_RESPONSE_BYTES
+from repro.api.protocol import ERROR_DRAINING, MAX_RESPONSE_BYTES
 from repro.api.wire import CODEC_JSON, CODECS, JSON_CODEC
 from repro.errors import ScoringError
 
@@ -320,7 +324,7 @@ class ScoringClient:
             self._next_id += 1
             frame = dict(payload)
             frame["id"] = req_id
-            line = None
+            response = None
             for attempt in range(self._reconnect_retries + 1):
                 try:
                     if self._dead:
@@ -359,26 +363,39 @@ class ScoringClient:
                         code=ERROR_TRANSPORT,
                         request_id=req_id,
                     )
-                if line:
-                    break
-                # EOF before a response: same story as a reset
-                self._teardown_connection()
-                if attempt >= self._reconnect_retries:
+                if not line:
+                    # EOF before a response: same story as a reset
+                    self._teardown_connection()
+                    if attempt >= self._reconnect_retries:
+                        raise ScoringError(
+                            "connection closed by the daemon before a "
+                            "response arrived",
+                            code=ERROR_TRANSPORT,
+                            request_id=req_id,
+                        )
+                    self._sock = self._connect()
+                    continue
+                try:
+                    response = self._codec.decode_response(line)
+                except ValueError as exc:
                     raise ScoringError(
-                        "connection closed by the daemon before a "
-                        "response arrived",
+                        f"daemon sent an undecodable frame: {exc}",
                         code=ERROR_TRANSPORT,
                         request_id=req_id,
                     )
-                self._sock = self._connect()
-            try:
-                response = self._codec.decode_response(line)
-            except ValueError as exc:
-                raise ScoringError(
-                    f"daemon sent an undecodable frame: {exc}",
-                    code=ERROR_TRANSPORT,
-                    request_id=req_id,
-                )
+                if (isinstance(response, dict)
+                        and not response.get("ok")
+                        and response.get("code") == ERROR_DRAINING
+                        and attempt < self._reconnect_retries):
+                    # a draining server refuses new scoring work with a
+                    # typed frame; reconnect — re-resolved through the
+                    # shard registry — and resend on a live sibling.
+                    # the refusal is an idempotent no-op server-side,
+                    # so the resend is as safe as a reconnect retry
+                    self._teardown_connection()
+                    self._sock = self._connect()
+                    continue
+                break
         if not isinstance(response, dict):
             raise ScoringError(
                 "daemon sent a non-object frame",
@@ -545,6 +562,25 @@ class ScoringClient:
                         f"is desynchronized",
                         code=ERROR_ID_MISMATCH,
                     )
+                if (not response.get("ok")
+                        and response.get("code") == ERROR_DRAINING):
+                    # the shard started draining mid-pipeline: every
+                    # still-unanswered request (this one included) is
+                    # requeued and the stream moves to a live sibling
+                    # through the registry — a drain must read as a
+                    # hand-off, not as request failures
+                    drops += 1
+                    self._teardown_connection()
+                    if drops > self._reconnect_retries:
+                        raise ScoringError(
+                            "the server kept draining and no live "
+                            "sibling answered within "
+                            f"{drops} reconnect attempt(s)",
+                            code=ERROR_DRAINING,
+                        )
+                    in_flight[ids[index]] = index
+                    self._requeue_in_flight(in_flight, to_send)
+                    continue
                 results[index] = response
                 done += 1
             return results
@@ -644,44 +680,66 @@ class ScoringClient:
         payload = self._with_model({"cmd": "info"}, model)
         return dict(self.request(payload)["info"])
 
+    # -- deprecated admin shims --------------------------------------------
+    #
+    # the admin/ops verbs moved to the typed surface in
+    # repro.api.admin.AdminClient; these shims delegate there (imported
+    # lazily — admin imports this module) and keep the historical dict
+    # shapes for one deprecation cycle.
+
+    def _admin(self):
+        from repro.api.admin import AdminClient
+
+        return AdminClient(self)
+
     def stats(self) -> dict:
-        """The server's stats tree (the ``{"cmd": "stats"}`` verb).
+        """Deprecated: use :meth:`repro.api.admin.AdminClient.stats`.
 
-        Carries a ``server`` section (transport counters — requests,
-        connections, event-loop coalesced batch sizes), a ``fleet``
-        section against fleet daemons (pool hits/evictions, batching),
-        and a ``shard`` section (index, pid) against sharded daemons —
-        query each shard of a unix-socket deployment to collect
-        per-shard request counts (or use
-        :func:`repro.api.shard.collect_stats`).  The ``server`` section
-        carries a ``codec`` subsection: connections, requests and byte
-        totals per negotiated codec.
+        Same wire verb and payload — the AdminClient surface adds the
+        typed health/fleet results and the fleet-ops verbs.
         """
-        return dict(self.request({"cmd": "stats"})["stats"])
-
-    # -- fleet admin verbs -------------------------------------------------
+        warnings.warn(
+            "ScoringClient.stats() is deprecated; use "
+            "repro.api.admin.AdminClient.stats()",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._admin().stats()
 
     def list_models(self) -> dict:
-        """The fleet's resident set: ``{"models": [...], "stats": {...}}``.
+        """Deprecated: use :meth:`repro.api.admin.AdminClient.list_models`.
 
-        Requires a fleet daemon; a single-model daemon answers
-        ``bad_request`` (raised as :class:`ScoringError`).
+        Returns the historical ``{"models": [...], "stats": {...}}``
+        dict shape; the AdminClient returns a typed
+        :class:`repro.api.admin.ModelListing` instead.
         """
-        response = self.request({"cmd": "list_models"})
+        warnings.warn(
+            "ScoringClient.list_models() is deprecated; use "
+            "repro.api.admin.AdminClient.list_models()",
+            DeprecationWarning, stacklevel=2,
+        )
+        listing = self._admin().list_models()
         return {
-            "models": list(response["models"]),
-            "stats": dict(response.get("stats", {})),
+            "models": [info.as_row() for info in listing.models],
+            "stats": dict(listing.stats),
         }
 
     def load_model(self, model: str) -> str:
-        """Warm-load one model key into the fleet; returns the full spec."""
-        response = self.request({"cmd": "load_model", "model": str(model)})
-        return str(response["model"])
+        """Deprecated: use :meth:`repro.api.admin.AdminClient.load_model`."""
+        warnings.warn(
+            "ScoringClient.load_model() is deprecated; use "
+            "repro.api.admin.AdminClient.load_model()",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._admin().load_model(model)
 
     def evict_model(self, model: str) -> bool:
-        """Evict one model key; ``False`` when it was not resident."""
-        response = self.request({"cmd": "evict_model", "model": str(model)})
-        return bool(response["evicted"])
+        """Deprecated: use :meth:`repro.api.admin.AdminClient.evict_model`."""
+        warnings.warn(
+            "ScoringClient.evict_model() is deprecated; use "
+            "repro.api.admin.AdminClient.evict_model()",
+            DeprecationWarning, stacklevel=2,
+        )
+        return self._admin().evict_model(model)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -689,6 +747,18 @@ class ScoringClient:
     def codec(self) -> str:
         """The codec the current connection negotiated."""
         return self._codec.name
+
+    def disconnect(self) -> None:
+        """Drop the current connection; the next request re-dials.
+
+        Drain orchestration uses this: a server that acknowledged a
+        ``drain`` waits for its connections to empty before stopping,
+        so the admin connection must let go promptly instead of
+        pinning the drain open until its grace deadline.
+        """
+        with self._lock:
+            if not self._closed:
+                self._teardown_connection()
 
     def close(self) -> None:
         """Close the connection; idempotent."""

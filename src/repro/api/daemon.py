@@ -40,6 +40,7 @@ import os
 import socket
 import stat
 import threading
+import time
 
 from repro.api.classifier import Classifier
 from repro.api.transport import (
@@ -52,10 +53,15 @@ from repro.api.wire import DEFAULT_CODECS
 from repro.errors import DaemonError
 
 __all__ = [
+    "DEFAULT_DRAIN_GRACE",
     "DEFAULT_WORKERS",
     "ScoringDaemon",
     "parse_tcp_endpoint",
 ]
+
+#: default upper bound on how long a drain waits for connections to
+#: empty before force-stopping the transport anyway.
+DEFAULT_DRAIN_GRACE = 30.0
 
 
 def _reclaim_stale_unix_socket(path: str) -> None:
@@ -147,13 +153,25 @@ class ScoringDaemon:
         self._server = None  # ThreadedServer | EventLoopServer
         self._last_server_stats: dict | None = None
         self._stopping = threading.Event()
+        self._stop_lock = threading.Lock()  # drain thread vs owner stop
         self._stopped = threading.Event()
+        self._draining = threading.Event()
+        self._drain_thread: threading.Thread | None = None
+        #: called (no arguments) once a drain has fully stopped the
+        #: daemon — shard processes hook their shutdown flag here so a
+        #: drained shard exits instead of idling (see
+        #: :func:`repro.api.shard._shard_main`)
+        self.on_drained = None
 
     # -- lifecycle ---------------------------------------------------------
 
     @property
     def is_running(self) -> bool:
         return self._listener is not None and not self._stopping.is_set()
+
+    @property
+    def is_draining(self) -> bool:
+        return self._draining.is_set()
 
     @property
     def engine(self) -> RequestEngine | None:
@@ -206,59 +224,126 @@ class ScoringDaemon:
 
     def start(self) -> "ScoringDaemon":
         """Bind the socket and start accepting connections."""
-        if self._listener is not None:
-            raise DaemonError("daemon is already started")
-        listener = self._bind()
-        listener.listen(self.backlog)
-        self._stopping.clear()
-        self._stopped.clear()
-        self._listener = listener
-        scorer = self.fleet if self.fleet is not None else self.classifier
-        self._engine = RequestEngine(scorer)
-        for name, payload in self.stats_extra.items():
-            self._engine.add_stats_source(name, lambda p=payload: dict(p))
-        if self.fleet is not None:
-            # fleet mode serves from the selectors event loop (one IO
-            # thread, adaptive request coalescing, a small worker pool
-            # for slow verbs)
-            batcher = getattr(self.fleet, "batcher", None)
-            max_batch = batcher.max_batch if batcher is not None else 1
-            server = EventLoopServer(
-                self._engine, listener, workers=self.workers,
-                max_batch=max_batch, codecs=self.codecs
-            )
-        else:
-            server = ThreadedServer(self._engine, listener,
-                                    workers=self.workers, codecs=self.codecs)
-        self._engine.add_stats_source("server", server.stats)
-        self._server = server.start()
+        with self._stop_lock:
+            if self._listener is not None:
+                raise DaemonError("daemon is already started")
+            listener = self._bind()
+            listener.listen(self.backlog)
+            self._stopping.clear()
+            self._stopped.clear()
+            self._draining.clear()
+            self._listener = listener
+            scorer = (self.fleet if self.fleet is not None
+                      else self.classifier)
+            self._engine = RequestEngine(scorer)
+            self._engine.drain_hook = self.request_drain
+            for name, payload in self.stats_extra.items():
+                self._engine.add_stats_source(
+                    name, lambda p=payload: dict(p))
+            if self.fleet is not None:
+                # fleet mode serves from the selectors event loop (one
+                # IO thread, adaptive request coalescing, a small
+                # worker pool for slow verbs)
+                batcher = getattr(self.fleet, "batcher", None)
+                max_batch = (batcher.max_batch if batcher is not None
+                             else 1)
+                server = EventLoopServer(
+                    self._engine, listener, workers=self.workers,
+                    max_batch=max_batch, codecs=self.codecs
+                )
+            else:
+                server = ThreadedServer(
+                    self._engine, listener, workers=self.workers,
+                    codecs=self.codecs)
+            self._engine.add_stats_source("server", server.stats)
+            self._server = server.start()
         return self
 
     def stop(self, timeout: float = 10.0) -> None:
         """Stop serving, close live connections, drain workers.
 
-        Idempotent; a Unix socket path is unlinked on the way out so a
-        clean restart can re-bind it.
+        Idempotent, and safe to race: a background drain finishing
+        while the owner tears the daemon down must not trip over a
+        half-cleared server.
         """
-        if self._listener is None:
-            return
-        self._stopping.set()
-        if self._server is not None:
-            self._server.stop(timeout)  # closes the listener too
-            self._last_server_stats = self._server.stats()
-            self._server = None
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        self._listener = None
-        self._engine = None
-        if self.socket_path is not None:
+        with self._stop_lock:
+            if self._listener is None:
+                return
+            self._stopping.set()
+            if self._server is not None:
+                self._server.stop(timeout)  # closes the listener too
+                self._last_server_stats = self._server.stats()
+                self._server = None
             try:
-                os.unlink(self.socket_path)
+                self._listener.close()
             except OSError:
                 pass
-        self._stopped.set()
+            self._listener = None
+            self._engine = None
+            if self.socket_path is not None:
+                try:
+                    os.unlink(self.socket_path)
+                except OSError:
+                    pass
+            self._stopped.set()
+
+    # -- graceful drain ----------------------------------------------------
+
+    def request_drain(self, grace: float = DEFAULT_DRAIN_GRACE) -> bool:
+        """Begin a graceful drain in the background; returns immediately.
+
+        The drain sequence: mark the engine draining (new scoring
+        requests answer typed ``draining`` frames on every path,
+        control verbs keep working), stop accepting connections
+        (``pause_accept`` — established sessions keep serving), wait
+        up to *grace* seconds for the active-connection count to reach
+        zero, then :meth:`stop` and fire :attr:`on_drained`.  In-flight
+        requests therefore always complete: the transports only ever
+        refuse *new* work.  Returns ``False`` when the daemon is not
+        running or a drain is already under way — the wire verb
+        ``{"cmd": "drain"}`` lands here through the engine's drain
+        hook.
+        """
+        if self._listener is None:
+            return False
+        if self._draining.is_set():
+            return False
+        self._draining.set()
+        engine = self._engine
+        if engine is not None:
+            engine.draining = True
+        thread = threading.Thread(
+            target=self._do_drain, args=(float(grace),),
+            name="repro-drain", daemon=True,
+        )
+        self._drain_thread = thread
+        thread.start()
+        return True
+
+    def drain(self, grace: float = DEFAULT_DRAIN_GRACE,
+              timeout: float | None = None) -> bool:
+        """Synchronous :meth:`request_drain`: returns once stopped."""
+        started = self.request_drain(grace)
+        self._stopped.wait(timeout if timeout is not None
+                           else float(grace) + 10.0)
+        return started
+
+    def _do_drain(self, grace: float) -> None:
+        server = self._server
+        if server is not None:
+            server.pause_accept()
+            deadline = time.monotonic() + grace
+            while time.monotonic() < deadline:
+                try:
+                    if server.stats()["active_connections"] == 0:
+                        break
+                except (KeyError, RuntimeError):
+                    break
+                time.sleep(0.05)
+        self.stop()
+        hook = self.on_drained
+        if hook is not None:
+            hook()
 
     def serve_forever(self) -> None:
         """Start (if needed) and block until :meth:`stop` is called.

@@ -309,6 +309,38 @@ class ModelPool:
             self._evictions += 1
             return True
 
+    def promote(self, key: ModelKey | str) -> ModelKey:
+        """Make an already-resident *key* the pool's pinned default.
+
+        The hot-swap endgame (see :mod:`repro.api.supervisor`): after
+        the new artifact is warm-loaded and canary-checked, promotion
+        atomically repoints the default route — requests without a
+        ``"model"`` field — at it.  The previous default is unpinned
+        (it stays resident but becomes evictable under LRU pressure),
+        the new default is pinned.  A key that is not resident raises
+        :class:`FleetError`: promotion must never block scoring
+        traffic behind an artifact load — warm the key first
+        (:meth:`get` / ``load_model``).
+        """
+        key = self.resolve_key(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                raise FleetError(
+                    f"model {key.spec!r} is not resident and cannot be "
+                    f"promoted; warm-load it first (load_model)")
+            if self.default_key == key:
+                entry.pinned = True  # idempotent re-promotion
+                return key
+            old = self._entries.get(self.default_key) \
+                if self.default_key is not None else None
+            if old is not None:
+                old.pinned = False
+            entry.pinned = True
+            self.default_key = key
+            self._entries.move_to_end(key)
+        return key
+
     def _evict_over_budget_locked(self) -> None:
         def over() -> bool:
             if self.max_models is not None and \

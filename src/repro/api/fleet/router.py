@@ -5,12 +5,14 @@ the classifiers.  It extends every scoring request with an optional
 ``"model"`` field naming a :class:`repro.api.fleet.ModelKey` spec
 (``family:feature_set[:dataset_tag]``); requests that omit the field
 are served by the pool's pinned default model, so pre-fleet clients
-keep working unchanged.  Three admin verbs manage the pool over the
-wire::
+keep working unchanged.  Four admin verbs manage the pool over the
+wire (see :class:`repro.api.admin.AdminClient` for the typed client
+surface)::
 
     {"cmd": "list_models"}                     -> resident set + stats
     {"cmd": "load_model",  "model": "<spec>"}  -> warm-load one key
     {"cmd": "evict_model", "model": "<spec>"}  -> drop one key
+    {"cmd": "promote",     "model": "<spec>"}  -> resident key -> default
 
 A request naming a key the pool cannot serve answers a typed
 ``unknown_model`` error frame; a malformed key spec answers
@@ -141,6 +143,13 @@ class ModelFleet:
                 # the key is known, just protected -> bad_request
                 raise ReproError(str(exc))
             return ok_frame({"model": key.spec, "evicted": evicted},
+                            req_id)
+        if cmd == "promote":
+            # FleetError (key not resident) propagates to the caller's
+            # unknown_model answer: promotion never loads
+            key = self.pool.promote(
+                self._parse_key(self._required_model(request)))
+            return ok_frame({"model": key.spec, "promoted": True},
                             req_id)
         return None
 

@@ -37,6 +37,13 @@ ERROR_TOO_LARGE = "too_large"
 #: connection is torn down after answering, because a length-prefixed
 #: stream cannot be resynchronized (see :mod:`repro.api.wire`).
 ERROR_INVALID_FRAME = "invalid_frame"
+#: the server is draining (graceful shutdown: it answers in-flight
+#: work but accepts no new scoring requests).  Clients should retry on
+#: another endpoint — :class:`repro.api.client.ScoringClient` treats
+#: this code as retryable and re-resolves the shard registry, so a
+#: drained shard hands its traffic to its siblings (see
+#: :mod:`repro.api.supervisor`).
+ERROR_DRAINING = "draining"
 
 ERROR_CODES = (
     ERROR_INVALID_JSON,
@@ -45,6 +52,7 @@ ERROR_CODES = (
     ERROR_UNKNOWN_MODEL,
     ERROR_TOO_LARGE,
     ERROR_INVALID_FRAME,
+    ERROR_DRAINING,
 )
 
 #: upper bound on one request line (16 MiB — a ~40k-row batch of the

@@ -51,7 +51,6 @@ from repro.api.daemon import (
     ScoringDaemon,
     _reclaim_stale_unix_socket,
 )
-from repro.api.wire import merge_codec_stats
 from repro.errors import DaemonError
 
 #: registry format marker (bumped on incompatible layout changes).
@@ -63,11 +62,17 @@ def shard_socket_path(base: str, index: int) -> str:
     return f"{base}.{index}"
 
 
-def write_registry(path: str, shards: list) -> None:
-    """Atomically write the shard registry file at *path*."""
+def write_registry(path: str, shards: list, epoch: int = 0) -> None:
+    """Atomically write the shard registry file at *path*.
+
+    *epoch* counts registry refreshes (respawns, deregistrations) so
+    observers can tell "the fleet changed under me" apart from "I read
+    the same snapshot twice" without diffing rows.
+    """
     payload = {
         "repro_shards": REGISTRY_VERSION,
         "base": path,
+        "epoch": int(epoch),
         "shards": shards,
     }
     directory = os.path.dirname(os.path.abspath(path))
@@ -107,6 +112,25 @@ def read_registry(path: str) -> list | None:
         return None
     rows = [s for s in shards if isinstance(s, dict) and s.get("path")]
     return rows or None
+
+
+def registry_epoch(path: str) -> int | None:
+    """The refresh epoch of the registry at *path*, or ``None``.
+
+    ``None`` means the path does not hold a well-formed registry;
+    registries written before epochs read as ``0``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    if payload.get("repro_shards") != REGISTRY_VERSION:
+        return None
+    epoch = payload.get("epoch")
+    return epoch if isinstance(epoch, int) else 0
 
 
 def _pid_alive(pid) -> bool:
@@ -232,6 +256,11 @@ def _shard_main(factory, kind, endpoint, index, workers, ready,
         codecs=codecs,
         **kwargs,
     )
+    # a {"cmd": "drain"} verb finishes in-flight work, stops the daemon
+    # and then fires this hook: flip the same flag SIGTERM uses so the
+    # shard process exits cleanly and its supervisor can retire or
+    # replace it
+    daemon.on_drained = stop.set
     daemon.start()
     ready.set()
     try:
@@ -290,7 +319,13 @@ class ShardManager:
         self.start_timeout = start_timeout
         self.codecs = tuple(codecs) if codecs is not None else None
         self._ctx = self._pick_context()
+        # the fleet state a supervisor mutates concurrently with the
+        # owning thread (respawn vs stop): all writes go under the lock
+        self._lock = threading.Lock()
         self._procs: list = []
+        self._retired: list = []       # replaced processes awaiting reap
+        self._deregistered: set = set()  # shard indexes hidden from clients
+        self._epoch = 0                # registry refresh counter
         self._guard: socket.socket | None = None  # TCP port reservation
         self._bound_tcp: tuple | None = None
         self._registry_written = False
@@ -347,16 +382,9 @@ class ShardManager:
         events = []
         try:
             for index, (kind, endpoint) in enumerate(endpoints):
-                ready = self._ctx.Event()
-                proc = self._ctx.Process(
-                    target=_shard_main,
-                    args=(self.factory, kind, endpoint, index,
-                          self.workers, ready, self.codecs),
-                    name=f"repro-shard-{index}",
-                    daemon=True,
-                )
-                proc.start()
-                self._procs.append(proc)
+                proc, ready = self._spawn(index, kind, endpoint)
+                with self._lock:
+                    self._procs.append(proc)
                 events.append(ready)
             deadline = time.monotonic() + self.start_timeout
             for index, ready in enumerate(events):
@@ -376,31 +404,144 @@ class ShardManager:
                             f"shard {index} did not become ready "
                             f"within {self.start_timeout}s"
                         )
-            if self.socket_path is not None:
-                write_registry(self.socket_path, [
-                    {"index": i,
-                     "path": shard_socket_path(self.socket_path, i),
-                     "pid": self._procs[i].pid}
-                    for i in range(self.shards)
-                ])
-                self._registry_written = True
+            self._refresh_registry()
         except BaseException:
             self.stop()
             raise
         return self
 
-    def stop(self, timeout: float = 10.0) -> None:
-        """Fan-out shutdown: SIGTERM all shards, join, escalate, clean."""
-        for proc in self._procs:
+    def _spawn(self, index: int, kind: str, endpoint):
+        """Fork one shard process; returns ``(process, ready_event)``."""
+        ready = self._ctx.Event()
+        proc = self._ctx.Process(
+            target=_shard_main,
+            args=(self.factory, kind, endpoint, index,
+                  self.workers, ready, self.codecs),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        proc.start()
+        return proc, ready
+
+    def _endpoint_for(self, index: int) -> tuple:
+        if self.socket_path is not None:
+            return ("unix", shard_socket_path(self.socket_path, index))
+        return ("tcp", self._bound_tcp)
+
+    # -- supervision hooks -------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """The registry refresh counter (see :func:`write_registry`)."""
+        with self._lock:
+            return self._epoch
+
+    def proc(self, index: int):
+        """The current process object serving shard *index*."""
+        with self._lock:
+            if not 0 <= index < len(self._procs):
+                raise DaemonError(f"no shard with index {index}")
+            return self._procs[index]
+
+    def deregister(self, index: int) -> None:
+        """Hide shard *index* from the registry (the drain hand-off).
+
+        Client (re)connections resolve endpoints through the registry,
+        so a deregistered shard stops receiving fresh connections while
+        it finishes in-flight work; :meth:`respawn` re-registers the
+        replacement.
+        """
+        with self._lock:
+            if not 0 <= index < self.shards:
+                raise DaemonError(f"no shard with index {index}")
+            self._deregistered.add(index)
+        self._refresh_registry()
+
+    def respawn(self, index: int, ready_timeout: float | None = None) -> int:
+        """Replace shard *index* with a fresh process; returns its pid.
+
+        The old process must already be dead (crashed, killed or
+        drained to exit) — respawning over a live shard raises, because
+        two processes racing for one endpoint is never what a
+        supervisor wants.  The replaced process object is retired and
+        reaped by :meth:`stop`, and the registry is refreshed (new pid,
+        bumped epoch, deregistration cleared) once the replacement is
+        ready.
+        """
+        old = self.proc(index)
+        if old.is_alive():
+            raise DaemonError(
+                f"shard {index} (pid {old.pid}) is still alive; drain "
+                f"or kill it before respawning")
+        old.join(0.1)  # reap promptly; stop() covers stragglers
+        kind, endpoint = self._endpoint_for(index)
+        proc, ready = self._spawn(index, kind, endpoint)
+        with self._lock:
+            self._retired.append(old)
+            self._procs[index] = proc
+        timeout = (ready_timeout if ready_timeout is not None
+                   else self.start_timeout)
+        deadline = time.monotonic() + timeout
+        try:
+            while not ready.wait(0.2):
+                if not proc.is_alive():
+                    raise DaemonError(
+                        f"respawned shard {index} died during startup "
+                        f"(exit code {proc.exitcode})")
+                if time.monotonic() > deadline:
+                    raise DaemonError(
+                        f"respawned shard {index} did not become ready "
+                        f"within {timeout}s")
+        except BaseException:
             if proc.is_alive():
                 proc.terminate()
-        for proc in self._procs:
+                proc.join(5.0)
+            raise
+        with self._lock:
+            self._deregistered.discard(index)
+        self._refresh_registry()
+        return proc.pid
+
+    def _refresh_registry(self) -> None:
+        """Rewrite the registry from live state (bumps the epoch)."""
+        if self.socket_path is None:
+            return
+        with self._lock:
+            if not self._procs:
+                return
+            self._epoch += 1
+            epoch = self._epoch
+            rows = [
+                {"index": i,
+                 "path": shard_socket_path(self.socket_path, i),
+                 "pid": self._procs[i].pid}
+                for i in range(self.shards)
+                if i not in self._deregistered
+            ]
+        write_registry(self.socket_path, rows, epoch=epoch)
+        self._registry_written = True
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Fan-out shutdown: SIGTERM all shards, join, escalate, clean.
+
+        Covers supervision leftovers too: processes respawned after the
+        initial fork set and the retired originals they replaced are
+        all reaped here, so a supervised shutdown leaves no zombies.
+        """
+        with self._lock:
+            procs = list(self._procs) + list(self._retired)
+            self._procs = []
+            self._retired = []
+            self._deregistered = set()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in procs:
             proc.join(timeout)
-        for proc in self._procs:
+        for proc in procs:
             if proc.is_alive():
                 proc.kill()
                 proc.join(5.0)
-        self._procs = []
         if self._guard is not None:
             try:
                 self._guard.close()
@@ -477,68 +618,20 @@ class ShardManager:
 
 
 def collect_stats(base_path: str, timeout: float = 10.0) -> dict:
-    """Aggregate ``{"cmd": "stats"}`` across every shard of a deployment.
+    """Deprecated: use :func:`repro.api.admin.collect_stats`.
 
-    *base_path* is the unix endpoint clients connect to.  When it holds
-    a shard registry, every registered shard is queried directly (the
-    registry rotation would otherwise only ever show one shard per
-    connection); a plain daemon socket is queried as a single
-    "deployment of one".  Returns::
-
-        {"shards": [per-shard stats payload, ...],
-         "requests_served": total, "connections_served": total,
-         "active_connections": total,
-         "codec": merged codec section or None}
-
-    Dead or malformed shards are skipped (their row is ``{"shard":
-    {...}, "error": str}``, plus a ``"code"`` field when the failure
-    carried a typed :class:`~repro.errors.ScoringError` code) rather
-    than failing the whole collection: a shard dying between the
-    registry read and the connect is an expected race, not a reason to
-    lose the stats of the survivors.
+    The aggregation moved onto the typed admin surface, which returns
+    a :class:`repro.api.admin.FleetStats`; this shim keeps the
+    historical dict shape (``FleetStats.as_dict()``) for one
+    deprecation cycle.
     """
-    from repro.api.client import ScoringClient
-    from repro.errors import ScoringError
+    import warnings
 
-    rows = read_registry(base_path)
-    if rows is None:
-        endpoints = [(None, base_path)]
-    else:
-        endpoints = [(s.get("index"), s.get("path")) for s in rows]
-    per_shard: list = []
-    totals = {"requests_served": 0, "connections_served": 0,
-              "active_connections": 0}
-    codec_sections: list = []
-    for index, path in endpoints:
-        if not isinstance(path, str) or not path:
-            per_shard.append({"shard": {"index": index, "path": path},
-                              "error": "registry row has no usable "
-                                       "'path'"})
-            continue
-        try:
-            with ScoringClient(socket_path=path, timeout=timeout) as client:
-                payload = client.stats()
-        except Exception as exc:  # dead shard: report, do not fail
-            row = {"shard": {"index": index, "path": path},
-                   "error": str(exc)}
-            if isinstance(exc, ScoringError) and exc.code is not None:
-                row["code"] = exc.code
-            per_shard.append(row)
-            continue
-        if index is not None:
-            payload.setdefault("shard", {"index": index})
-        per_shard.append(payload)
-        server = payload.get("server")
-        server = server if isinstance(server, dict) else {}
-        for key in totals:
-            value = server.get(key)
-            if isinstance(value, (int, float)):
-                totals[key] += value
-        if isinstance(server.get("codec"), dict):
-            codec_sections.append(server["codec"])
-    return {
-        "shards": per_shard,
-        **totals,
-        "codec": merge_codec_stats(codec_sections) if codec_sections
-        else None,
-    }
+    from repro.api.admin import collect_stats as admin_collect_stats
+
+    warnings.warn(
+        "repro.api.shard.collect_stats() is deprecated; use "
+        "repro.api.admin.collect_stats()",
+        DeprecationWarning, stacklevel=2,
+    )
+    return admin_collect_stats(base_path, timeout=timeout).as_dict()

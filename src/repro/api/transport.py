@@ -46,6 +46,7 @@ import numpy as np
 from repro.api import service as _service
 from repro.api.protocol import (
     ERROR_BAD_REQUEST,
+    ERROR_DRAINING,
     ERROR_INTERNAL,
     MAX_REQUEST_BYTES,
     encode_frame,
@@ -131,7 +132,14 @@ class RequestEngine:
     * the micro-batch fast path: :meth:`fast_path` classifies a
       decoded request as coalescible and :meth:`execute_fast` scores a
       coalesced chunk with per-row fallback, so batching behaves
-      identically wherever it is driven from.
+      identically wherever it is driven from;
+    * the fleet-ops control verbs ``{"cmd": "health"}`` (liveness /
+      drain state, answered inline on every transport) and
+      ``{"cmd": "drain"}`` (begin a graceful drain through
+      :attr:`drain_hook` — see :meth:`repro.api.daemon.ScoringDaemon.
+      request_drain`).  While :attr:`draining` is set, scoring
+      requests are refused with a typed ``draining`` frame so clients
+      re-resolve the shard registry and land on a live sibling.
     """
 
     def __init__(self, scorer) -> None:
@@ -144,6 +152,13 @@ class RequestEngine:
             self.classifier = scorer
             self._default_classifier = scorer
         self._stats_sources: dict = {}
+        #: set by the owning daemon once a drain begins; checked on
+        #: both the slow path (:meth:`handle`) and the coalescing fast
+        #: path (:meth:`fast_path`), which bypasses handle entirely
+        self.draining = False
+        #: callable starting a graceful drain (wired by the daemon);
+        #: ``None`` means this engine's transport cannot drain
+        self.drain_hook = None
 
     # -- introspection -----------------------------------------------------
 
@@ -160,15 +175,57 @@ class RequestEngine:
             stats["fleet"] = self.fleet.stats()
         return stats
 
+    def health(self) -> dict:
+        """The ``{"cmd": "health"}`` payload: status, pid, shard identity."""
+        payload = {
+            "status": "draining" if self.draining else "serving",
+            "pid": os.getpid(),
+            "draining": bool(self.draining),
+        }
+        shard = self._stats_sources.get("shard")
+        if shard is not None:
+            payload["shard"] = shard()
+        return payload
+
     # -- dispatch ----------------------------------------------------------
 
     def handle(self, request) -> dict:
         """One decoded request to one response frame."""
         if isinstance(request, dict):
             cmd = request.get("cmd")
+            if self.draining and cmd is None:
+                # scoring requests (features / rows / kernel) are
+                # refused while draining; control and admin verbs keep
+                # answering so supervisors can watch the drain complete
+                return error_frame(
+                    ERROR_DRAINING,
+                    "server is draining and accepts no new scoring "
+                    "requests; retry on another shard",
+                    request_id(request),
+                )
             if cmd == "stats":
                 return ok_frame({"stats": self.stats()},
                                 request_id(request))
+            if cmd == "health":
+                return ok_frame({"health": self.health()},
+                                request_id(request))
+            if cmd == "drain":
+                if self.drain_hook is None:
+                    return error_frame(
+                        ERROR_BAD_REQUEST,
+                        "this server has no drain support (no owning "
+                        "daemon wired a drain hook)",
+                        request_id(request),
+                    )
+                # set synchronously so the ack already guarantees new
+                # scoring requests are refused; the hook runs the slow
+                # half (pause accept, wait, stop) off this thread
+                self.draining = True
+                started = self.drain_hook()
+                return ok_frame(
+                    {"draining": True, "started": bool(started)},
+                    request_id(request),
+                )
             if cmd == "hello":
                 # codec negotiation is per-connection transport state;
                 # the socket paths intercept hello in respond() before
@@ -253,6 +310,15 @@ class RequestEngine:
                 and request.get("cmd") is None):
             return None
         req_id = request.get("id")
+        if self.draining:
+            # the fast path bypasses handle(), so the draining refusal
+            # must be answered here too or coalesced rows would slip
+            # through a drain
+            return ("error", error_frame(
+                ERROR_DRAINING,
+                "server is draining and accepts no new scoring "
+                "requests; retry on another shard",
+                req_id))
         spec = request.get("model")
         if spec is None or self.fleet is None:
             # single-model engines ignore the model field, exactly like
@@ -439,6 +505,24 @@ class ThreadedServer:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def pause_accept(self) -> None:
+        """Stop accepting new connections; live sessions keep serving.
+
+        The transport half of a graceful drain: closing the listener
+        makes the acceptor thread exit while established
+        ``_serve_connection`` sessions keep answering (``stop()``
+        still joins everything afterwards).  One-way for this server
+        instance — a drained server is stopped, never resumed.
+        """
+        try:
+            self.listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.listener.close()
+        except OSError:
+            pass
+
     def stats(self) -> dict:
         with self._lock:
             return {
@@ -588,6 +672,7 @@ class EventLoopServer:
         self.max_batch = max(1, int(max_batch))
         self._workers = max(1, int(workers))
         self._stopping = threading.Event()
+        self._pausing = threading.Event()  # drain: stop accepting
         self._thread: threading.Thread | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._wake_r, self._wake_w = os.pipe()
@@ -636,6 +721,17 @@ class EventLoopServer:
             except OSError:
                 pass
 
+    def pause_accept(self) -> None:
+        """Stop accepting new connections; live sessions keep serving.
+
+        The transport half of a graceful drain.  The selector belongs
+        to the loop thread, so this only raises a flag and wakes the
+        loop — the loop unregisters and closes the listener on its
+        next round.  One-way for this server instance.
+        """
+        self._pausing.set()
+        self._wake()
+
     def _wake(self) -> None:
         try:
             os.write(self._wake_w, b"\0")
@@ -667,8 +763,21 @@ class EventLoopServer:
         sel.register(self.listener, selectors.EVENT_READ, None)
         sel.register(self._wake_r, selectors.EVENT_READ, None)
         self._conns: set = set()
+        accepting = True
         try:
             while not self._stopping.is_set():
+                if accepting and self._pausing.is_set():
+                    # graceful drain: retire the listener while every
+                    # accepted connection keeps being served
+                    accepting = False
+                    try:
+                        sel.unregister(self.listener)
+                    except (KeyError, ValueError):
+                        pass
+                    try:
+                        self.listener.close()
+                    except OSError:
+                        pass
                 fast: list = []
                 events = sel.select(timeout=0.5)
                 if self._stopping.is_set():

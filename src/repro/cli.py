@@ -19,7 +19,15 @@ Examples::
     repro serve --socket /tmp/repro.sock \\
         --models forest:static-all,tree:static-agg --preload \\
         --max-batch 64 --max-delay-us 2000 --memory-budget-mb 64
-    repro serve --socket /tmp/repro.sock --shards 4
+    repro serve --socket /tmp/repro.sock --shards 4 --supervise
+
+    repro fleet stats --socket /tmp/repro.sock
+    repro fleet health --socket /tmp/repro.sock --shard 0
+    repro fleet models --socket /tmp/repro.sock
+    repro fleet load forest:static-all --socket /tmp/repro.sock
+    repro fleet promote forest:static-all --socket /tmp/repro.sock
+    repro fleet drain --socket /tmp/repro.sock --shard 2
+    repro fleet restart --socket /tmp/repro.sock
 
 ``--jobs N`` (or ``REPRO_JOBS=N``) runs the labelling campaign on N
 worker processes; ``--jobs 0`` uses every CPU.  The on-disk simulation
@@ -42,7 +50,14 @@ set with LRU eviction, and ``--max-batch``/``--max-delay-us`` tune the
 micro-batching that coalesces concurrent single-row requests into
 batched predictions.  ``--shards N`` scales the daemon to N processes
 behind one endpoint (``SO_REUSEPORT`` on TCP, a shard registry on unix
-sockets — see :mod:`repro.api.shard`).
+sockets — see :mod:`repro.api.shard`), and ``--supervise`` runs a
+:class:`repro.api.ShardSupervisor` next to them: crashed shards are
+respawned (registry refreshed), drained shards hand their traffic to
+siblings, and ``repro fleet restart`` composes the two into a rolling
+restart.  ``repro fleet`` is the operator surface over the typed
+:class:`repro.api.AdminClient` — stats/health/model listing, warm
+loads, eviction, default promotion and graceful drains against a
+running deployment.
 """
 
 from __future__ import annotations
@@ -217,13 +232,150 @@ def _serve_sharded(args, profile: str, progress) -> int:
           f"on {manager.address[0]} {endpoint} "
           f"(pids {', '.join(str(p) for p in manager.pids)}); "
           f"Ctrl-C stops cleanly", file=sys.stderr)
+    supervisor = None
+    if getattr(args, "supervise", False):
+        from repro.api.supervisor import ShardSupervisor
+
+        def on_event(event: dict) -> None:
+            detail = " ".join(f"{k}={v}" for k, v in event.items()
+                              if k != "event")
+            print(f"supervisor: {event['event']} {detail}",
+                  file=sys.stderr)
+
+        supervisor = ShardSupervisor(manager, on_event=on_event).start()
+        print("shard supervisor running: crashed shards respawn, "
+              "drained shards hand traffic to their siblings "
+              "('repro fleet drain/restart')", file=sys.stderr)
     try:
         threading.Event().wait()  # until Ctrl-C
     except KeyboardInterrupt:
         pass
     finally:
+        if supervisor is not None:
+            supervisor.stop()
         manager.stop()
         print(f"stopped {args.shards} shard(s) cleanly", file=sys.stderr)
+    return 0
+
+
+def _fleet_endpoint(args) -> dict:
+    """The AdminClient endpoint behind ``repro fleet`` options."""
+    if args.socket:
+        path = args.socket
+        if getattr(args, "shard", None) is not None:
+            from repro.api.shard import shard_socket_path
+
+            path = shard_socket_path(path, args.shard)
+        return {"socket_path": path}
+    return {"tcp": parse_tcp_endpoint(args.tcp)}
+
+
+def _fleet_rolling_restart(base: str, timeout: float) -> int:
+    """``repro fleet restart``: drain shards one at a time, letting the
+    serve process's supervisor respawn each before the next goes.
+
+    Works entirely over the wire: the drain verb retires the shard and
+    a ``--supervise``'d deployment respawns it (new pid, bumped
+    registry epoch); this loop just sequences the drains and waits for
+    each replacement to answer its health probe, so the fleet never
+    drops below N-1 serving shards.
+    """
+    import time
+
+    from repro.api.admin import AdminClient
+    from repro.api.shard import read_registry
+    from repro.errors import ScoringError
+
+    rows = read_registry(base)
+    if rows is None:
+        print("fleet restart needs a unix-socket shard registry "
+              "endpoint (serve --socket --shards N --supervise)",
+              file=sys.stderr)
+        return 2
+    for row in sorted(rows, key=lambda r: r.get("index") or 0):
+        index, old_pid = row.get("index"), row.get("pid")
+        try:
+            with AdminClient(socket_path=row["path"],
+                             timeout=timeout) as admin:
+                admin.drain()
+        except ScoringError as exc:
+            print(f"shard {index}: drain failed ({exc}); assuming it "
+                  f"is already down", file=sys.stderr)
+        deadline = time.monotonic() + max(timeout, 60.0)
+        replacement = None
+        while time.monotonic() < deadline:
+            fresh = read_registry(base) or []
+            match = next((r for r in fresh if r.get("index") == index),
+                         None)
+            if match is not None and match.get("pid") != old_pid:
+                try:
+                    with AdminClient(socket_path=match["path"],
+                                     timeout=timeout) as admin:
+                        if admin.health().serving:
+                            replacement = match
+                            break
+                except ScoringError:
+                    pass  # still coming up
+            time.sleep(0.2)
+        if replacement is None:
+            print(f"shard {index} was not respawned in time; is the "
+                  f"daemon running with --supervise?", file=sys.stderr)
+            return 1
+        print(f"shard {index}: pid {old_pid} -> {replacement['pid']}")
+    print("rolling restart complete")
+    return 0
+
+
+def _fleet_command(args) -> int:
+    """The ``repro fleet`` operator verbs over the typed admin API."""
+    import json as _json
+
+    from repro.api.admin import AdminClient
+    from repro.api.admin import collect_stats as collect_fleet_stats
+
+    if (args.socket is None) == (args.tcp is None):
+        print("fleet: configure exactly one endpoint (--socket PATH "
+              "or --tcp HOST:PORT)", file=sys.stderr)
+        return 2
+    if args.verb == "restart":
+        if not args.socket:
+            print("fleet restart needs --socket (a shard registry)",
+                  file=sys.stderr)
+            return 2
+        return _fleet_rolling_restart(args.socket, args.timeout)
+    if (args.verb == "stats" and args.socket
+            and getattr(args, "shard", None) is None):
+        # fleet-wide aggregation across every registered shard
+        stats = collect_fleet_stats(args.socket, timeout=args.timeout)
+        print(_json.dumps(stats.as_dict(), indent=2))
+        return 0
+    with AdminClient(timeout=args.timeout, **_fleet_endpoint(args)) as admin:
+        if args.verb == "stats":
+            print(_json.dumps(admin.stats(), indent=2))
+        elif args.verb == "health":
+            health = admin.health()
+            where = "" if health.index is None else f" shard {health.index}"
+            print(f"{health.status}{where} (pid {health.pid})")
+            return 0 if health.serving else 1
+        elif args.verb == "models":
+            listing = admin.list_models()
+            for info in listing.models:
+                marks = "".join((" [pinned]" if info.pinned else "",
+                                 " [default]" if info.default else ""))
+                print(f"{info.model:42s} {info.size_bytes:>10d} B  "
+                      f"hits {info.hits:>6d}  loads {info.loads:>3d}"
+                      f"{marks}")
+            print(f"{len(listing)} resident model(s)")
+        elif args.verb == "load":
+            print(f"loaded {admin.load_model(args.spec)}")
+        elif args.verb == "evict":
+            evicted = admin.evict_model(args.spec)
+            print("evicted" if evicted else "not resident")
+        elif args.verb == "promote":
+            print(f"promoted {admin.promote(args.spec)} to default")
+        elif args.verb == "drain":
+            started = admin.drain()
+            print("drain started" if started else "already draining")
     return 0
 
 
@@ -346,6 +498,12 @@ def main(argv=None) -> int:
                           "endpoint (SO_REUSEPORT on --tcp, a shard "
                           "registry on --socket; default 1, daemon "
                           "mode only)")
+    srv.add_argument("--supervise", action="store_true",
+                     help="run a shard supervisor next to the shards: "
+                          "health-check them, respawn crashed ones "
+                          "(refreshing the registry) and honour "
+                          "graceful drains, enabling 'repro fleet "
+                          "drain/restart' (daemon mode)")
     srv.add_argument("--codec", choices=("auto", "json"), default="auto",
                      help="wire codecs offered to hello negotiation: "
                           "auto offers the binary codec with JSON "
@@ -353,6 +511,52 @@ def main(argv=None) -> int:
                           "(daemon mode; stdin/stdout is always "
                           "JSON-lines)")
     _add_dataset_opts(srv)
+
+    flt = sub.add_parser(
+        "fleet", help="operate a running scoring deployment over the "
+                      "typed admin API (stats, health, models, load, "
+                      "evict, promote, drain, restart)")
+    fleet_sub = flt.add_subparsers(dest="verb", required=True)
+
+    def _add_fleet_endpoint(p, shardable: bool = True) -> None:
+        p.add_argument("--socket", default=None, metavar="PATH",
+                       help="unix endpoint of the deployment (a shard "
+                            "registry or a plain daemon socket)")
+        p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                       help="TCP endpoint of the deployment")
+        if shardable:
+            p.add_argument("--shard", type=int, default=None, metavar="N",
+                           help="address shard N of a unix-socket "
+                                "deployment directly (<socket>.N)")
+        p.add_argument("--timeout", type=float, default=10.0,
+                       help="per-request timeout in seconds "
+                            "(default 10)")
+
+    _add_fleet_endpoint(fleet_sub.add_parser(
+        "stats", help="stats tree (fleet-wide aggregate on a shard "
+                      "registry; --shard for one shard)"))
+    _add_fleet_endpoint(fleet_sub.add_parser(
+        "health", help="liveness/drain probe (exit 0 serving, "
+                       "1 draining)"))
+    _add_fleet_endpoint(fleet_sub.add_parser(
+        "models", help="resident models of the serving fleet"))
+    for verb, text in (
+        ("load", "warm-load a model key into the fleet pool"),
+        ("evict", "drop a resident model key"),
+        ("promote", "make an already-resident key the serving default "
+                    "(hot swap endgame)"),
+    ):
+        vp = fleet_sub.add_parser(verb, help=text)
+        vp.add_argument("spec", metavar="SPEC",
+                        help="model key: family:feature_set[:dataset_tag]")
+        _add_fleet_endpoint(vp)
+    _add_fleet_endpoint(fleet_sub.add_parser(
+        "drain", help="gracefully retire one server: finish in-flight "
+                      "work, refuse new requests, exit"))
+    _add_fleet_endpoint(fleet_sub.add_parser(
+        "restart", help="rolling restart of a --supervise'd sharded "
+                        "deployment (drain one shard at a time, wait "
+                        "for its respawn)"), shardable=False)
 
     lnt = sub.add_parser(
         "lint", help="protocol- and concurrency-aware static analysis "
@@ -384,6 +588,9 @@ def main(argv=None) -> int:
     if args.command == "energy-model":
         print(format_model_table(EnergyModel.paper_table1()))
         return 0
+
+    if args.command == "fleet":
+        return _fleet_command(args)
 
     if args.command == "lint":
         from repro.analysis import main as lint_main
@@ -454,7 +661,12 @@ def main(argv=None) -> int:
         if args.shards > 1 and not daemon_mode:
             parser.error("--shards requires a daemon endpoint "
                          "(--socket PATH or --tcp HOST:PORT)")
-        if args.shards > 1:
+        if args.supervise and not daemon_mode:
+            parser.error("--supervise requires a daemon endpoint "
+                         "(--socket PATH or --tcp HOST:PORT)")
+        if args.shards > 1 or args.supervise:
+            # supervision always runs through the shard manager — a
+            # supervised single daemon is a one-shard fleet
             return _serve_sharded(args, profile, progress)
         clf = _load_or_train(args, profile, progress)
         budget = (int(args.memory_budget_mb * 1024 * 1024)

@@ -132,14 +132,19 @@ class TestProtocolConsistency:
         assert codes(report) == ["RPL001"]
         assert "missing from ERROR_CODES" in report.findings[0].message
 
-    def test_real_sources_with_injected_verb_are_caught(self, tmp_path):
-        """The acceptance drill: new verb in the engine, no client
-        method -> RPL001 reports the drift."""
-        names = ("transport.py", "client.py", "wire.py", "protocol.py",
-                 "service.py", os.path.join("fleet", "router.py"))
+    API_NAMES = ("transport.py", "client.py", "admin.py", "wire.py",
+                 "protocol.py", "service.py",
+                 os.path.join("fleet", "router.py"))
+
+    def _copy_api_sources(self, tmp_path, names=API_NAMES) -> None:
         for name in names:
             with open(os.path.join(API_DIR, name), encoding="utf-8") as f:
                 (tmp_path / os.path.basename(name)).write_text(f.read())
+
+    def test_real_sources_with_injected_verb_are_caught(self, tmp_path):
+        """The acceptance drill: new verb in the engine, no client
+        method -> RPL001 reports the drift."""
+        self._copy_api_sources(tmp_path)
         baseline = run_lint([str(tmp_path)], select="RPL001",
                             root=str(tmp_path))
         assert baseline.findings == []
@@ -158,6 +163,32 @@ class TestProtocolConsistency:
         assert codes(report) == ["RPL001"]
         assert "'teleport'" in report.findings[0].message
         assert report.exit_code == 1
+
+    def test_fleet_ops_verbs_balance_without_waivers(self, tmp_path):
+        """The fleet-ops verbs (drain/health/promote plus the model
+        management ones) are covered by the handled-vs-sent inventory:
+        clean over the real sources with zero waivers, and dropping
+        the AdminClient module (the only sender) makes every one of
+        them fire."""
+        self._copy_api_sources(tmp_path)
+        report = run_lint([str(tmp_path)], select="RPL001",
+                          root=str(tmp_path))
+        assert report.findings == []  # nothing waived, nothing fired
+
+        for name in self.API_NAMES:
+            if os.path.basename(name) != "admin.py":
+                (tmp_path / "noadmin" / os.path.basename(name)).parent \
+                    .mkdir(exist_ok=True)
+                with open(os.path.join(API_DIR, name),
+                          encoding="utf-8") as f:
+                    (tmp_path / "noadmin" / os.path.basename(name)) \
+                        .write_text(f.read())
+        report = run_lint([str(tmp_path / "noadmin")], select="RPL001",
+                          root=str(tmp_path / "noadmin"))
+        orphaned = {f.message.split("'")[1] for f in report.findings
+                    if "is handled here" in f.message}
+        assert {"drain", "health", "promote", "stats", "list_models",
+                "load_model", "evict_model"} <= orphaned
 
 
 # ---------------------------------------------------------------- RPL002

@@ -372,7 +372,8 @@ class TestCollectStats:
     read -> connect window is an unavoidable race)."""
 
     def test_dead_shard_becomes_error_row(self, trained, tmp_path):
-        from repro.api.shard import collect_stats, write_registry
+        from repro.api.admin import collect_stats
+        from repro.api.shard import write_registry
 
         live = str(tmp_path / "live.sock")
         dead = str(tmp_path / "dead.sock")  # never bound
@@ -385,17 +386,19 @@ class TestCollectStats:
                 {"index": 1, "path": dead, "pid": 999999},
             ])
             stats = collect_stats(base, timeout=2.0)
-        assert len(stats["shards"]) == 2
-        ok_row, err_row = stats["shards"]
+        assert len(stats.shards) == 2
+        ok_row, err_row = stats.shards
         assert "error" not in ok_row
         assert err_row["shard"] == {"index": 1, "path": dead}
         assert err_row["error"]
         assert err_row["code"] == "transport"
         # the live shard's counters still aggregate
-        assert stats["requests_served"] >= 1
-        assert stats["connections_served"] >= 1
+        assert stats.requests_served >= 1
+        assert stats.connections_served >= 1
+        assert stats.live_shards == 1
 
     def test_all_shards_dead_still_returns(self, tmp_path):
+        # the deprecated shim must keep the historical dict shape
         from repro.api.shard import collect_stats, write_registry
 
         base = str(tmp_path / "fleet.sock")
@@ -403,19 +406,21 @@ class TestCollectStats:
             {"index": 0, "path": str(tmp_path / "a.sock"), "pid": 1},
             {"index": 1, "path": str(tmp_path / "b.sock"), "pid": 2},
         ])
-        stats = collect_stats(base, timeout=2.0)
+        with pytest.warns(DeprecationWarning, match="admin.collect_stats"):
+            stats = collect_stats(base, timeout=2.0)
         assert [r["shard"]["index"] for r in stats["shards"]] == [0, 1]
         assert all(r["error"] for r in stats["shards"])
         assert stats["requests_served"] == 0
         assert stats["codec"] is None
 
     def test_plain_dead_endpoint_is_one_error_row(self, tmp_path):
-        from repro.api.shard import collect_stats
+        from repro.api.admin import collect_stats
 
         stats = collect_stats(str(tmp_path / "gone.sock"), timeout=2.0)
-        assert len(stats["shards"]) == 1
-        assert stats["shards"][0]["error"]
-        assert stats["shards"][0]["code"] == "transport"
+        assert len(stats.shards) == 1
+        assert stats.shards[0]["error"]
+        assert stats.shards[0]["code"] == "transport"
+        assert stats.live_shards == 0
 
 
 class TestSmokeScript:
@@ -424,6 +429,14 @@ class TestSmokeScript:
         assert smoke_main(["--rows", "24", "--clients", "3"]) == 0
         out = capsys.readouterr().out
         assert "daemon smoke OK" in out
+
+    def test_kill_storm_smoke_main(self, capsys):
+        from scripts.daemon_smoke import main as smoke_main
+        assert smoke_main(["--kill-storm", "--rows", "24",
+                           "--clients", "2", "--storm-kills", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "kill-storm smoke OK" in out
+        assert "zero failures" in out
 
     def test_byte_identity_diff_is_actionable(self):
         from scripts.daemon_smoke import SmokeFailure, check_identical

@@ -20,6 +20,7 @@ import time
 import pytest
 
 from repro.api import (
+    AdminClient,
     Classifier,
     ModelFleet,
     ReproConfig,
@@ -155,7 +156,7 @@ class TestStatsVerb:
         with ScoringDaemon(trained, socket_path=unix_path, workers=2):
             with ScoringClient(socket_path=unix_path) as client:
                 client.info()
-                stats = client.stats()
+                stats = AdminClient(client).stats()
         server = stats["server"]
         assert server["transport"] == "threads"
         assert server["requests_served"] >= 1
@@ -170,7 +171,7 @@ class TestStatsVerb:
                            workers=2):
             with ScoringClient(socket_path=unix_path) as client:
                 client.predict(list(map(float, X[0])))
-                stats = client.stats()
+                stats = AdminClient(client).stats()
         assert stats["server"]["transport"] == "eventloop"
         assert stats["server"]["fast_rows"] >= 1
         assert "mean_fast_batch" in stats["server"]
@@ -480,7 +481,7 @@ class TestSharded:
             for row in registry:
                 with ScoringClient(socket_path=row["path"]) as client:
                     assert client.predict(rows[0]) == expected[0]
-                    stats = client.stats()
+                    stats = AdminClient(client).stats()
                     assert stats["shard"]["pid"] == row["pid"]
                     assert stats["server"]["requests_served"] >= 1
                     seen.append(stats["shard"]["index"])
@@ -499,14 +500,14 @@ class TestSharded:
         with ShardManager(factory, shards=2, socket_path=base,
                           workers=2) as manager:
             with ScoringClient(socket_path=base) as client:
-                victim = client.stats()["shard"]["index"]
+                victim = AdminClient(client).stats()["shard"]["index"]
                 os.kill(manager.pids[victim], 9)
                 deadline = time.monotonic() + 10
                 while manager.alive()[victim] and \
                         time.monotonic() < deadline:
                     time.sleep(0.05)
                 assert client.predict(rows[0]) == expected[0]
-                survivor = client.stats()["shard"]["index"]
+                survivor = AdminClient(client).stats()["shard"]["index"]
                 assert survivor != victim
 
     def test_tcp_shards_share_one_port(self, trained, tiny_dataset,
@@ -521,7 +522,8 @@ class TestSharded:
             assert kind == "tcp" and port > 0
             with ScoringClient(tcp=(host, port)) as client:
                 assert client.predict_pipelined(rows) == expected
-                assert client.stats()["shard"]["index"] in (0, 1)
+                assert AdminClient(client).stats()["shard"]["index"] \
+                    in (0, 1)
 
     def test_shard_that_dies_during_startup_fails_fast(self, tmp_path):
         """A factory that raises (missing artifact) must fail start()

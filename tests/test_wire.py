@@ -295,8 +295,10 @@ class TestBinaryDaemon:
                     [int(p) for p in trained.predict_batch(X)]
                 assert client.predict(list(X[0])) == trained.predict(X[0])
                 assert client.info()["model_family"] == "tree"
-                assert client.stats()["server"]["codec"]["offered"] == \
-                    list(DEFAULT_CODECS)
+                from repro.api import AdminClient
+
+                assert (AdminClient(client).stats()["server"]["codec"]
+                        ["offered"]) == list(DEFAULT_CODECS)
 
     def test_eventloop_binary_matches_json_byte_identically(
             self, trained, tiny_dataset, unix_path):
