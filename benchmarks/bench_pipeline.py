@@ -910,6 +910,255 @@ def bench_codec_backend(batch_rows: int = 10_000, rounds: int = 5,
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def bench_obs_overhead(batch_rows: int = 20_000, rounds: int = 21,
+                       batch_reps: int = 3, single_reps: int = 100,
+                       e2e_rounds: int = 3,
+                       single_requests: int = 200) -> dict:
+    """Telemetry cost: metrics-on vs metrics-off, measured in two layers.
+
+    **Dispatch layer (the gated numbers).**  Every instrumented call
+    site lives inside :class:`~repro.api.transport.RequestEngine` —
+    the socket accept/read/write code is byte-for-byte identical in
+    both variants — so the telemetry delta is measured where it
+    exists: two engines (one telemetry on, one built with
+    ``metrics=False``) *sharing one loaded classifier object* answer
+    the same pre-framed binary requests on one thread, in ABBA order
+    (on, off, off, on) per round so drift and bursts hit both legs,
+    with the median across rounds as the figure.  Sharing the
+    classifier and the thread is load-bearing: two separately loaded
+    daemon instances in one process differ by ~10% on the batched
+    path for the lifetime of the pair (heap/thread-placement luck —
+    an A/A run with telemetry off in *both* daemons shows the same
+    gap), which no amount of same-pair sampling removes and which
+    would drown a 3% budget.  ``batched_overhead_pct`` from this
+    layer is the number CI gates at 3%.
+
+    **End-to-end layer (context).**  One daemon pair over real unix
+    sockets reports absolute levels — batched rows/s and single-row
+    round-trip p50 per variant — plus the paired single-trip
+    overhead, which is dominated by the fixed few-µs per-request cost
+    against a ~50µs round trip and is stable end to end.
+    """
+    from repro.api import (
+        CODEC_BINARY,
+        Classifier,
+        ReproConfig,
+        RequestEngine,
+        ScoringClient,
+        ScoringDaemon,
+        WireSession,
+    )
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_obs_")
+    variants = ("metrics_on", "metrics_off")
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        trained = Classifier(ReproConfig(profile="unit")).train(dataset)
+        artifact = os.path.join(workdir, "model.json")
+        trained.save(artifact)
+        X = dataset.matrix(trained.feature_names_)
+        X = X.astype(np.float32).astype(np.float64)
+        reps = max(1, -(-batch_rows // len(X)))
+        big = np.tile(X, (reps, 1))[:batch_rows]
+        expected = [int(p) for p in trained.predict_batch(big)]
+
+        # -- dispatch layer: shared classifier, one thread, ABBA ------
+        shared = Classifier.load(artifact)
+
+        def make_engine(variant: str):
+            engine = RequestEngine(
+                shared,
+                metrics=(None if variant == "metrics_on" else False))
+            wire = WireSession()
+            wire.push(json.dumps(
+                {"cmd": "hello",
+                 "codecs": [CODEC_BINARY]}).encode() + b"\n")
+            engine.respond(wire.next_frame(), wire)
+            if wire.codec.name != CODEC_BINARY:
+                raise AssertionError(
+                    f"negotiated {wire.codec.name!r}, wanted binary")
+            return engine, wire
+
+        engines = {variant: make_engine(variant)
+                   for variant in variants}
+        codec = engines[variants[0]][1].codec
+        batch_framed = codec.encode_request(
+            {"id": 1, "rows": np.ascontiguousarray(big, dtype="<f4")})
+        single_framed = codec.encode_request(
+            {"id": 1, "features": [float(v) for v in X[0]]})
+
+        def leg_ns(variant: str, framed: bytes, leg_reps: int) -> int:
+            engine, wire = engines[variant]
+            total = 0
+            for _ in range(leg_reps):
+                wire.push(framed)
+                raw = wire.next_frame()
+                start = time.perf_counter_ns()
+                response = engine.respond(raw, wire)
+                total += time.perf_counter_ns() - start
+                if response is None:
+                    raise AssertionError(f"{variant} dropped a frame")
+            return total
+
+        def dispatch_pct(framed: bytes, leg_reps: int):
+            for variant in variants:
+                leg_ns(variant, framed, 2 * leg_reps)  # warm-up
+            ratios = []
+            base_ns = []
+            abba = (variants[0], variants[1],
+                    variants[1], variants[0])
+            for _ in range(rounds):
+                legs = {variant: 0 for variant in variants}
+                for variant in abba:
+                    legs[variant] += leg_ns(variant, framed, leg_reps)
+                on_leg, off_leg = (legs[variants[0]],
+                                   legs[variants[1]])
+                ratios.append((on_leg - off_leg) / off_leg * 100.0)
+                base_ns.append(off_leg / (2 * leg_reps))
+            ratios.sort()
+            base_ns.sort()
+            return (round(ratios[rounds // 2], 2),
+                    base_ns[rounds // 2])
+
+        batched_pct, batched_base = dispatch_pct(batch_framed,
+                                                 batch_reps)
+        single_pct, single_base = dispatch_pct(single_framed,
+                                               single_reps)
+        for _, wire in engines.values():
+            if wire.fatal:
+                raise AssertionError("wire session went fatal")
+        dispatch = {
+            "rounds": rounds,
+            "batch_reps_per_leg": batch_reps,
+            "single_reps_per_leg": single_reps,
+            "batched_overhead_pct": batched_pct,
+            "batched_base_ms": round(batched_base / 1e6, 3),
+            "single_overhead_pct": single_pct,
+            "single_base_us": round(single_base / 1e3, 1),
+        }
+
+        # -- end-to-end layer: daemon pair over unix sockets ----------
+        sockets = {variant: os.path.join(workdir, f"{variant}.sock")
+                   for variant in variants}
+        daemons = [
+            ScoringDaemon(Classifier.load(artifact),
+                          socket_path=sockets[variant], workers=4,
+                          metrics=(variant == "metrics_on"))
+            for variant in variants
+        ]
+
+        def run_batch(client, variant: str) -> float:
+            start = time.perf_counter()
+            got = client.predict_batch(big)
+            wall = time.perf_counter() - start
+            if got != expected:
+                raise AssertionError(f"{variant} batch diverged")
+            return wall
+
+        def run_single(client, variant: str) -> float:
+            latencies = []
+            for i in range(single_requests):
+                row = list(map(float, X[i % len(X)]))
+                start = time.perf_counter()
+                got = client.predict(row)
+                latencies.append(time.perf_counter() - start)
+                if got != expected[i % len(X)]:
+                    raise AssertionError(
+                        f"{variant} single-row diverged")
+            lat_us = np.asarray(latencies) * 1e6
+            return round(float(np.percentile(lat_us, 50)), 1)
+
+        batch_runs = {variant: [] for variant in variants}
+        single_runs = {variant: [] for variant in variants}
+        single_ratios = []
+        abba = (variants[0], variants[1], variants[1], variants[0])
+        with daemons[0], daemons[1]:
+            clients = {}
+            try:
+                for variant in variants:
+                    client = ScoringClient(socket_path=sockets[variant],
+                                           codec=CODEC_BINARY)
+                    if client.codec != CODEC_BINARY:
+                        raise AssertionError(
+                            f"negotiated {client.codec!r}, "
+                            f"wanted binary")
+                    clients[variant] = client
+                for _ in range(3):  # page both variants in
+                    for variant in variants:
+                        run_batch(clients[variant], variant)
+                        clients[variant].predict(
+                            list(map(float, X[0])))
+                for _ in range(e2e_rounds):
+                    for variant in abba:
+                        batch_runs[variant].append(
+                            run_batch(clients[variant], variant))
+                    legs = {variant: 0.0 for variant in variants}
+                    for variant in abba:
+                        p50 = run_single(clients[variant], variant)
+                        legs[variant] += p50
+                        single_runs[variant].append(p50)
+                    single_ratios.append(
+                        (legs[variants[0]] - legs[variants[1]])
+                        / legs[variants[1]] * 100.0)
+            finally:
+                for client in clients.values():
+                    client.close()
+
+        levels = {}
+        for variant in variants:
+            levels[variant] = {
+                "batched_rows_per_sec":
+                    round(len(big) / min(batch_runs[variant]), 1),
+                "single_round_trip_us_p50": min(single_runs[variant]),
+            }
+        single_ratios.sort()
+        e2e_single_pct = round(single_ratios[e2e_rounds // 2], 2)
+        return {
+            "transport": "unix",
+            "codec": "binary-v1",
+            "backend": "compiled",
+            "batch_rows": len(big),
+            "single_requests": single_requests,
+            "dispatch": dispatch,
+            "metrics_on": levels["metrics_on"],
+            "metrics_off": levels["metrics_off"],
+            "batched_overhead_pct": batched_pct,
+            "single_round_trip_overhead_pct": e2e_single_pct,
+        }
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _run_obs_leg(results: dict, budget_pct: float) -> int:
+    """Run the telemetry-overhead leg into *results*; 0 when on budget."""
+    print("telemetry overhead, metrics on vs off (interleaved "
+          "paired) ...", flush=True)
+    results["obs"] = bench_obs_overhead()
+    obs = results["obs"]
+    dispatch = obs["dispatch"]
+    print(f"  batched dispatch: {dispatch['batched_base_ms']} ms base "
+          f"-> {obs['batched_overhead_pct']}% overhead "
+          f"(single dispatch {dispatch['single_base_us']} us -> "
+          f"{dispatch['single_overhead_pct']}%)")
+    print(f"  end-to-end batched: on "
+          f"{obs['metrics_on']['batched_rows_per_sec']} rows/s, off "
+          f"{obs['metrics_off']['batched_rows_per_sec']} rows/s")
+    print(f"  end-to-end single p50: on "
+          f"{obs['metrics_on']['single_round_trip_us_p50']} us, off "
+          f"{obs['metrics_off']['single_round_trip_us_p50']} us -> "
+          f"{obs['single_round_trip_overhead_pct']}% overhead")
+    if obs["batched_overhead_pct"] > budget_pct:
+        print(f"  FAIL: batched telemetry overhead "
+              f"{obs['batched_overhead_pct']}% exceeds the "
+              f"{budget_pct}% budget", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--profile", default="quick",
@@ -926,9 +1175,33 @@ def main(argv=None) -> int:
     parser.add_argument("--daemon-requests", type=int, default=200,
                         help="single-row requests per daemon client "
                              "(default 200)")
+    parser.add_argument("--obs-only", action="store_true",
+                        help="run only the telemetry-overhead leg and "
+                             "merge its 'obs' section into --output")
+    parser.add_argument("--obs-budget", type=float, default=3.0,
+                        help="fail when batched telemetry overhead "
+                             "exceeds this percentage (default 3.0)")
     args = parser.parse_args(argv)
 
-    results: dict = {
+    if args.obs_only:
+        # CI's quick gate: refresh just the obs section, keep every
+        # other recorded number untouched
+        results = {}
+        if os.path.exists(args.output):
+            try:
+                with open(args.output) as handle:
+                    results = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                results = {}
+        results.setdefault("bench", "pipeline")
+        status = _run_obs_leg(results, args.obs_budget)
+        with open(args.output, "w") as handle:
+            json.dump(results, handle, indent=2)
+            handle.write("\n")
+        print(f"written to {args.output}")
+        return status
+
+    results = {
         "bench": "pipeline",
         "profile": args.profile,
         "cpu_count": os.cpu_count(),
@@ -1061,11 +1334,13 @@ def main(argv=None) -> int:
     print(f"  binary+compiled vs daemon batched "
           f"({ref_batched} rows/s): {ratio}x")
 
+    status = _run_obs_leg(results, args.obs_budget)
+
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")
     print(f"written to {args.output}")
-    return 0
+    return status
 
 
 if __name__ == "__main__":

@@ -71,7 +71,7 @@ from repro.api import (  # noqa: E402
     load_or_train,
     registry_epoch,
 )
-from repro.api.admin import collect_stats  # noqa: E402
+from repro.api.admin import collect_metrics, collect_stats  # noqa: E402
 from repro.api.shard import read_registry  # noqa: E402
 from repro.dataset.build import build_dataset  # noqa: E402
 from repro.dataset.registry import get_kernel_spec  # noqa: E402
@@ -87,6 +87,24 @@ STORM_SWAP_SPEC = "forest:static-all:unit"
 
 class SmokeFailure(AssertionError):
     """A smoke check failed; the message carries the full diagnosis."""
+
+
+def score_request_count(series) -> int:
+    """Total scored requests across every ``verb="score"`` latency row.
+
+    Sums the merged ``repro_request_latency_us`` histogram counts over
+    all codec/model label combinations, so the caller can assert on an
+    exact fleet-wide request count regardless of which path (coalesced
+    fast path, slow path, either codec) served each request.
+    """
+    total = 0
+    for row in series:
+        if (
+            row.get("name") == "repro_request_latency_us"
+            and row.get("labels", {}).get("verb") == "score"
+        ):
+            total += int(row.get("count", 0))
+    return total
 
 
 def check_identical(label: str, got: list, want: list) -> None:
@@ -280,6 +298,46 @@ def kill_storm(args, workdir: str) -> int:
             raise SmokeFailure(
                 f"supervisor healed {respawns} times, expected "
                 f"{args.storm_kills}")
+
+        # -- merged fleet telemetry survived the churn.  SIGKILLed
+        # shards took their counters with them, so absolute totals are
+        # not assertable — but a *delta* around a known quiesced
+        # request count is exact: the merged score-latency histogram
+        # must grow by exactly the requests we now inject
+        before = collect_metrics(base)
+        if before.live_shards != args.shards:
+            raise SmokeFailure(
+                f"metrics collection saw {before.live_shards} live "
+                f"shards, expected {args.shards}: {before.shards}")
+        probe_requests = 7
+        with ScoringClient(socket_path=base) as client:
+            for row_no in range(probe_requests):
+                row = rows[row_no % len(rows)]
+                got = client.predict(list(row))
+                if got != want_forest[row_no % len(rows)]:
+                    raise SmokeFailure(
+                        f"metrics probe request {row_no} scored {got}, "
+                        f"want {want_forest[row_no % len(rows)]}")
+        after = collect_metrics(base)
+        delta = (score_request_count(after.series)
+                 - score_request_count(before.series))
+        if delta != probe_requests:
+            raise SmokeFailure(
+                f"merged score-latency histograms grew by {delta} "
+                f"requests, expected exactly {probe_requests}; "
+                f"per-shard counts are drifting from requests served")
+
+        # the supervisor's own registry counts every heal it performed
+        respawn_counter = 0
+        for series_row in supervisor.metrics.snapshot()["series"]:
+            if (series_row["name"] == "repro_supervisor_events_total"
+                    and series_row["labels"].get("event") == "respawn"):
+                respawn_counter = int(series_row["value"])
+        if respawn_counter != args.storm_kills:
+            raise SmokeFailure(
+                f"repro_supervisor_events_total{{event='respawn'}} is "
+                f"{respawn_counter}, expected {args.storm_kills} "
+                f"(one per injected SIGKILL)")
     if os.path.exists(base):
         raise SmokeFailure("registry not removed after stop")
 
@@ -289,7 +347,9 @@ def kill_storm(args, workdir: str) -> int:
         f"failures, {args.storm_kills} SIGKILLs healed, rolling "
         f"restart {restarted}, hot swap to {report.model} "
         f"byte-identical on {len(report.promoted)} shards, "
-        f"registry epoch {epoch}, clean fan-out shutdown"
+        f"registry epoch {epoch}, merged metrics delta "
+        f"{delta}/{probe_requests} requests, respawn counter "
+        f"{respawn_counter}, clean fan-out shutdown"
     )
     return 0
 
@@ -399,6 +459,9 @@ def main(argv=None) -> int:
                 assert admin.load_model(FOREST_SPEC) == FOREST_SPEC
                 assert len(admin.list_models()) == 2
                 assert admin.health().serving
+                telemetry = admin.metrics()
+                assert telemetry["enabled"] is True, telemetry
+                assert isinstance(telemetry["series"], list), telemetry
 
             threads = [
                 threading.Thread(target=worker, args=(slot,))
@@ -414,6 +477,16 @@ def main(argv=None) -> int:
                     f"client thread(s) {hung} still running after the "
                     f"120s join timeout; the daemon has stalled"
                 )
+            # the traffic just served must be visible in the latency
+            # histograms: every predict/predict_batch call above is one
+            # verb="score" request
+            with AdminClient(socket_path=socket_path) as admin:
+                telemetry = admin.metrics()
+            scored_requests = score_request_count(telemetry["series"])
+            if not scored_requests:
+                raise SmokeFailure(
+                    "metrics verb reports zero score requests after "
+                    "the client storm; instrumentation is dead")
         # post-stop read: stop() drains the pool, so every connection
         # handler has finished its bookkeeping by now
         stats = daemon.stats()
@@ -435,7 +508,8 @@ def main(argv=None) -> int:
                 f"client {slot} singles ({spec})", singles, want
             )
             scored += len(batch) + len(singles)
-        assert stats["connections_served"] == args.clients + 1
+        # clients + the pre-storm admin client + the post-storm metrics read
+        assert stats["connections_served"] == args.clients + 2
         assert not os.path.exists(socket_path), "socket not unlinked"
         loop_stats = stats.get("loop", {})
 
@@ -443,7 +517,7 @@ def main(argv=None) -> int:
         # to the codec it ended on, byte counters split the same way
         n_binary = sum(1 for slot in range(args.clients)
                        if (slot // 2) % 2 == 1)
-        n_json = args.clients - n_binary + 1  # + the admin client
+        n_json = args.clients - n_binary + 2  # + the two admin clients
         codec_stats = stats["codec"]
         assert codec_stats["connections"].get(CODEC_BINARY, 0) == n_binary, (
             codec_stats

@@ -61,10 +61,12 @@ from repro.api.classifier import (
 )
 from repro.api.admin import (
     AdminClient,
+    FleetMetrics,
     FleetStats,
     ModelInfo,
     ModelListing,
     ShardHealth,
+    collect_metrics,
 )
 from repro.api.client import DEFAULT_PIPELINE_WINDOW, ScoringClient
 from repro.api.daemon import (
@@ -151,6 +153,7 @@ __all__ = [
     "ModelKey",
     "ModelPool",
     "AdminClient",
+    "FleetMetrics",
     "FleetStats",
     "ModelInfo",
     "ModelListing",
@@ -161,6 +164,7 @@ __all__ = [
     "ShardSupervisor",
     "HotSwapReport",
     "classifier_factory",
+    "collect_metrics",
     "collect_stats",
     "fleet_factory",
     "registry_epoch",

@@ -34,13 +34,16 @@ from dataclasses import dataclass, field
 from repro.api.client import ScoringClient
 from repro.api.wire import merge_codec_stats
 from repro.errors import ScoringError
+from repro.obs import merge_series
 
 __all__ = [
     "AdminClient",
+    "FleetMetrics",
     "FleetStats",
     "ModelInfo",
     "ModelListing",
     "ShardHealth",
+    "collect_metrics",
     "collect_stats",
 ]
 
@@ -182,6 +185,34 @@ class FleetStats:
         }
 
 
+@dataclass(frozen=True)
+class FleetMetrics:
+    """Merged telemetry across every shard of one deployment.
+
+    ``series`` is the bucket-wise merge of each live shard's registry
+    snapshot (:func:`repro.obs.merge_series` — histogram counts are
+    added per bucket, **never** averaged percentiles); ``shards``
+    holds the raw per-shard payloads, with dead shards appearing as
+    ``{"shard": {...}, "error": ...}`` rows rather than failing or
+    poisoning the merge.
+    """
+
+    series: tuple
+    shards: tuple = ()
+
+    @property
+    def live_shards(self) -> int:
+        """How many shards answered the metrics probe."""
+        return sum(1 for row in self.shards
+                   if isinstance(row, dict) and "error" not in row)
+
+    def as_dict(self) -> dict:
+        return {
+            "series": [dict(row) for row in self.series],
+            "shards": list(self.shards),
+        }
+
+
 class AdminClient:
     """The typed admin/ops surface over one scoring connection.
 
@@ -228,6 +259,22 @@ class AdminClient:
         the typed fleet-wide aggregate).
         """
         return dict(self.client.request({"cmd": "stats"})["stats"])
+
+    def metrics(self) -> dict:
+        """One server's telemetry snapshot (the ``metrics`` verb).
+
+        The payload carries ``enabled`` plus the registry snapshot's
+        ``series`` list (empty when the daemon runs with telemetry
+        off); see :func:`collect_metrics` for the fleet-wide merge.
+        """
+        return dict(self.client.request({"cmd": "metrics"})["metrics"])
+
+    @staticmethod
+    def collect_metrics(base_path: str,
+                        timeout: float = 10.0) -> "FleetMetrics":
+        """Fleet-wide :func:`collect_metrics` (same module), for symmetry
+        with the per-shard :meth:`metrics` verb."""
+        return collect_metrics(base_path, timeout=timeout)
 
     def health(self) -> ShardHealth:
         """One liveness/drain probe (the ``{"cmd": "health"}`` verb).
@@ -367,4 +414,50 @@ def collect_stats(base_path: str, timeout: float = 10.0) -> FleetStats:
         codec=(merge_codec_stats(codec_sections) if codec_sections
                else None),
         **totals,
+    )
+
+
+def collect_metrics(base_path: str, timeout: float = 10.0) -> FleetMetrics:
+    """Merge the ``metrics`` verb across every shard of a deployment.
+
+    Mirrors :func:`collect_stats`: *base_path* resolves through the
+    shard registry when one exists (plain daemon sockets are a
+    deployment of one), dead shards become ``error`` rows instead of
+    failing the collection, and the surviving snapshots are merged
+    **bucket-wise** with :func:`repro.obs.merge_series` — adding
+    histogram bucket counts preserves exact fleet-wide percentiles,
+    where averaging per-shard percentiles would fabricate them.
+    """
+    from repro.api.shard import read_registry
+
+    rows = read_registry(base_path)
+    if rows is None:
+        endpoints = [(None, base_path)]
+    else:
+        endpoints = [(s.get("index"), s.get("path")) for s in rows]
+    per_shard: list = []
+    snapshots: list = []
+    for index, path in endpoints:
+        if not isinstance(path, str) or not path:
+            per_shard.append({"shard": {"index": index, "path": path},
+                              "error": "registry row has no usable "
+                                       "'path'"})
+            continue
+        try:
+            with AdminClient(socket_path=path, timeout=timeout) as admin:
+                payload = admin.metrics()
+        except Exception as exc:  # dead shard: report, do not fail
+            row = {"shard": {"index": index, "path": path},
+                   "error": str(exc)}
+            if isinstance(exc, ScoringError) and exc.code is not None:
+                row["code"] = exc.code
+            per_shard.append(row)
+            continue
+        payload.setdefault("shard", {"index": index, "path": path})
+        per_shard.append(payload)
+        if payload.get("series"):
+            snapshots.append({"series": payload["series"]})
+    return FleetMetrics(
+        series=tuple(merge_series(snapshots)),
+        shards=tuple(per_shard),
     )

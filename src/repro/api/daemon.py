@@ -119,6 +119,7 @@ class ScoringDaemon:
         reuse_port: bool = False,
         stats_extra: dict | None = None,
         codecs: tuple | None = None,
+        metrics: bool = True,
     ) -> None:
         if (classifier is None) == (fleet is None):
             raise DaemonError(
@@ -148,6 +149,12 @@ class ScoringDaemon:
         self.reuse_port = reuse_port
         self.stats_extra = dict(stats_extra) if stats_extra else {}
         self.codecs = tuple(codecs) if codecs is not None else DEFAULT_CODECS
+        # REPRO_METRICS=0 is the fleet-wide kill switch; the keyword
+        # turns telemetry off for one daemon (the overhead bench's
+        # control variant)
+        self.metrics = bool(metrics) and os.environ.get(
+            "REPRO_METRICS", "1"
+        ) not in ("0", "false", "off")
         self._listener: socket.socket | None = None
         self._engine: RequestEngine | None = None
         self._server = None  # ThreadedServer | EventLoopServer
@@ -235,7 +242,8 @@ class ScoringDaemon:
             self._listener = listener
             scorer = (self.fleet if self.fleet is not None
                       else self.classifier)
-            self._engine = RequestEngine(scorer)
+            self._engine = RequestEngine(
+                scorer, metrics=(None if self.metrics else False))
             self._engine.drain_hook = self.request_drain
             for name, payload in self.stats_extra.items():
                 self._engine.add_stats_source(
@@ -247,6 +255,12 @@ class ScoringDaemon:
                 batcher = getattr(self.fleet, "batcher", None)
                 max_batch = (batcher.max_batch if batcher is not None
                              else 1)
+                if self._engine.obs is not None:
+                    pool = getattr(self.fleet, "pool", None)
+                    if pool is not None:
+                        pool.bind_metrics(self._engine.obs)
+                    if batcher is not None:
+                        batcher.bind_metrics(self._engine.obs)
                 server = EventLoopServer(
                     self._engine, listener, workers=self.workers,
                     max_batch=max_batch, codecs=self.codecs
@@ -279,6 +293,10 @@ class ScoringDaemon:
             except OSError:
                 pass
             self._listener = None
+            if self._engine is not None:
+                # write any sampled trace spans out now, while the
+                # serving threads are already quiesced
+                self._engine.close_observability()
             self._engine = None
             if self.socket_path is not None:
                 try:

@@ -33,6 +33,7 @@ import time
 import numpy as np
 
 from repro.errors import FleetError
+from repro.obs import BATCH_BUCKET_BOUNDS_ROWS
 
 #: default largest coalesced batch (rows per predict_batch call).
 DEFAULT_MAX_BATCH = 64
@@ -43,12 +44,14 @@ DEFAULT_QUEUE_SIZE = 4096
 
 
 class _Item:
-    __slots__ = ("classifier", "vector", "on_done")
+    __slots__ = ("classifier", "vector", "on_done", "enqueued_ns")
 
-    def __init__(self, classifier, vector, on_done) -> None:
+    def __init__(self, classifier, vector, on_done,
+                 enqueued_ns: int = 0) -> None:
         self.classifier = classifier
         self.vector = vector
         self.on_done = on_done
+        self.enqueued_ns = enqueued_ns
 
 
 class MicroBatcher:
@@ -83,6 +86,19 @@ class MicroBatcher:
         self._batches = 0
         self._largest_batch = 0
         self._thread: threading.Thread | None = None
+        # telemetry handles; None until bind_metrics (zero overhead)
+        self._obs_queue_wait = None
+        self._obs_batch_rows = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach queue-wait / batch-size histograms from *registry*."""
+        if registry is None:
+            return
+        self._obs_queue_wait = registry.histogram(
+            "repro_batcher_queue_wait_us")
+        self._obs_batch_rows = registry.histogram(
+            "repro_batcher_batch_rows",
+            bounds=BATCH_BUCKET_BOUNDS_ROWS)
 
     # -- producer side -----------------------------------------------------
 
@@ -113,7 +129,10 @@ class MicroBatcher:
         if self._closing.is_set():
             raise FleetError("micro-batcher is closed")
         self._ensure_scheduler()
-        item = _Item(classifier, vector, on_done)
+        item = _Item(classifier, vector, on_done,
+                     enqueued_ns=(time.perf_counter_ns()
+                                  if self._obs_queue_wait is not None
+                                  else 0))
         try:
             self._queue.put(item, timeout=self.submit_timeout)
         except queue.Full:
@@ -199,6 +218,14 @@ class MicroBatcher:
             self._rows += len(batch)
             self._batches += 1
             self._largest_batch = max(self._largest_batch, len(batch))
+        queue_wait = self._obs_queue_wait
+        if queue_wait is not None:
+            drained_ns = time.perf_counter_ns()
+            for item in batch:
+                if item.enqueued_ns:
+                    queue_wait.record(
+                        (drained_ns - item.enqueued_ns) / 1000.0)
+            self._obs_batch_rows.record(len(batch))
 
     def _complete_single(self, item: _Item) -> None:
         try:

@@ -153,6 +153,25 @@ class ModelPool:
         self._load_errors: dict = {}    # key -> FleetError (while loading)
         self._evictions = 0
         self.default_key: ModelKey | None = None
+        # telemetry handles; None until bind_metrics (zero overhead)
+        self._obs_hits = None
+        self._obs_misses = None
+        self._obs_load_us = None
+        self._obs_evict_us = None
+        self._obs_evictions = None
+
+    def bind_metrics(self, registry) -> None:
+        """Attach hit/miss/load/evict instruments from *registry*."""
+        if registry is None:
+            return
+        self._obs_hits = registry.counter(
+            "repro_pool_requests_total", outcome="hit")
+        self._obs_misses = registry.counter(
+            "repro_pool_requests_total", outcome="miss")
+        self._obs_load_us = registry.histogram("repro_pool_load_us")
+        self._obs_evict_us = registry.histogram("repro_pool_evict_us")
+        self._obs_evictions = registry.counter(
+            "repro_pool_evictions_total")
 
     # -- admission ---------------------------------------------------------
 
@@ -219,6 +238,8 @@ class ModelPool:
                 if entry is not None:
                     entry.hits += 1
                     self._entries.move_to_end(key)
+                    if self._obs_hits is not None:
+                        self._obs_hits.inc()
                     return entry.classifier
                 waiter = self._loading.get(key)
                 if waiter is None:
@@ -230,6 +251,10 @@ class ModelPool:
             if error is not None:
                 raise error
             # else: loaded (or evicted again already) — re-check
+        if self._obs_misses is not None:
+            self._obs_misses.inc()
+        load_from = (time.perf_counter_ns()
+                     if self._obs_load_us is not None else 0)
         try:
             classifier = self._loader(key)
         except FleetError as exc:
@@ -239,6 +264,9 @@ class ModelPool:
             error = FleetError(f"loading model {key.spec!r} failed: {exc}")
             self._finish_load(key, error=error)
             raise error
+        if self._obs_load_us is not None:
+            self._obs_load_us.record(
+                (time.perf_counter_ns() - load_from) / 1000.0)
         if not isinstance(classifier, Classifier) or not classifier.is_fitted:
             error = FleetError(f"loader returned no fitted classifier for "
                                f"model {key.spec!r}")
@@ -268,6 +296,8 @@ class ModelPool:
                 return None
             entry.hits += 1
             self._entries.move_to_end(key)
+            if self._obs_hits is not None:
+                self._obs_hits.inc()
             return entry.classifier
 
     def _finish_load(self, key: ModelKey, error=None) -> None:
@@ -297,6 +327,8 @@ class ModelPool:
         next request for it transparently reloads through the loader.
         """
         key = self.resolve_key(key)
+        evict_from = (time.perf_counter_ns()
+                      if self._obs_evict_us is not None else 0)
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -307,7 +339,12 @@ class ModelPool:
             del self._entries[key]
             self._load_errors.pop(key, None)
             self._evictions += 1
-            return True
+            if self._obs_evictions is not None:
+                self._obs_evictions.inc()
+        if self._obs_evict_us is not None:
+            self._obs_evict_us.record(
+                (time.perf_counter_ns() - evict_from) / 1000.0)
+        return True
 
     def promote(self, key: ModelKey | str) -> ModelKey:
         """Make an already-resident *key* the pool's pinned default.
@@ -359,6 +396,8 @@ class ModelPool:
                 return  # only pinned entries (or the newest) remain
             del self._entries[victim]
             self._evictions += 1
+            if self._obs_evictions is not None:
+                self._obs_evictions.inc()
 
     def _resident_bytes_locked(self) -> int:
         return sum(e.size_bytes for e in self._entries.values())

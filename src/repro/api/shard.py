@@ -52,6 +52,7 @@ from repro.api.daemon import (
     _reclaim_stale_unix_socket,
 )
 from repro.errors import DaemonError
+from repro.obs import get_logger
 
 #: registry format marker (bumped on incompatible layout changes).
 REGISTRY_VERSION = 1
@@ -263,6 +264,9 @@ def _shard_main(factory, kind, endpoint, index, workers, ready,
     daemon.on_drained = stop.set
     daemon.start()
     ready.set()
+    log = get_logger("shard", shard=index)
+    log.info("serving", kind=kind, endpoint=str(endpoint),
+             workers=workers)
     try:
         # a plain flag + timed wait is robust to signal delivery
         # semantics across platforms (handlers only set the flag)
@@ -272,6 +276,7 @@ def _shard_main(factory, kind, endpoint, index, workers, ready,
         daemon.stop()
         if hasattr(scorer, "close"):
             scorer.close()
+        log.info("exit")
 
 
 class ShardManager:

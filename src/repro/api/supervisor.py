@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from repro.api.admin import AdminClient
 from repro.api.shard import ShardManager, shard_socket_path
 from repro.errors import DaemonError, ScoringError
+from repro.obs import MetricsRegistry, get_logger
 
 __all__ = [
     "DEFAULT_INTERVAL",
@@ -112,6 +113,7 @@ class ShardSupervisor:
         drain_timeout: float = 60.0,
         op_timeout: float = 60.0,
         on_event=None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if interval <= 0:
             raise DaemonError(f"interval must be > 0, got {interval}")
@@ -125,6 +127,13 @@ class ShardSupervisor:
         self.drain_timeout = float(drain_timeout)
         self.op_timeout = float(op_timeout)
         self.on_event = on_event
+        # supervision telemetry: event counters by kind plus the
+        # health-probe round-trip distribution (see repro.obs)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._obs_probe_rtt = self.metrics.histogram(
+            "repro_supervisor_probe_rtt_us"
+        )
+        self._log = get_logger("supervisor")
         # _lock guards the bookkeeping (exclusions, probe failures,
         # events); _ops serializes the process-level mutations (heal
         # vs drain vs restart) so two actors never respawn one shard
@@ -236,13 +245,16 @@ class ShardSupervisor:
 
     def _probe(self, index: int) -> bool:
         path = shard_socket_path(self.manager.socket_path, index)
+        probe_from = time.perf_counter_ns()
         try:
             with AdminClient(socket_path=path, timeout=self.probe_timeout,
                              reconnect_retries=0) as admin:
                 admin.health()
-            return True
         except ScoringError:
             return False
+        self._obs_probe_rtt.record(
+            (time.perf_counter_ns() - probe_from) / 1000.0)
+        return True
 
     def _note_probe(self, index: int, ok: bool) -> int:
         with self._lock:
@@ -408,6 +420,14 @@ class ShardSupervisor:
         with self._lock:
             self._events.append(entry)
             del self._events[:-_EVENT_LIMIT]
+        self.metrics.counter(
+            "repro_supervisor_events_total", event=event).inc()
+        # "pid" is reserved in the log schema (the supervisor's own);
+        # the subject shard's pid travels as shard_pid
+        fields = {("shard_pid" if k == "pid" else k): v
+                  for k, v in extra.items()}
+        log = self._log.error if event == "error" else self._log.info
+        log(event, shard=shard, **fields)
         callback = self.on_event
         if callback is not None:
             try:

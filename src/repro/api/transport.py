@@ -38,6 +38,7 @@ import selectors
 import socket
 import sys
 import threading
+import time
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 
@@ -65,6 +66,12 @@ from repro.api.wire import (
     too_large_frame,
 )
 from repro.errors import FleetError, MLError
+from repro.obs import (
+    BATCH_BUCKET_BOUNDS_ROWS,
+    MetricsRegistry,
+    SIZE_BUCKET_BOUNDS_BYTES,
+    Tracer,
+)
 
 #: bytes read per ``recv`` on a readable connection.
 RECV_BYTES = 262144
@@ -142,7 +149,7 @@ class RequestEngine:
       re-resolve the shard registry and land on a live sibling.
     """
 
-    def __init__(self, scorer) -> None:
+    def __init__(self, scorer, metrics=None) -> None:
         if hasattr(scorer, "handle_request"):
             self.fleet = scorer
             self.classifier = None
@@ -152,6 +159,20 @@ class RequestEngine:
             self.classifier = scorer
             self._default_classifier = scorer
         self._stats_sources: dict = {}
+        #: the telemetry registry (see :mod:`repro.obs`): pass
+        #: ``metrics=False`` to serve uninstrumented (the bench
+        #: baseline), a registry to share one across components, or
+        #: nothing for a fresh per-engine registry
+        if metrics is False:
+            self.obs = None
+            self.tracer = None
+        else:
+            self.obs = (metrics if metrics is not None
+                        else MetricsRegistry())
+            self.tracer = Tracer.from_env()
+        # instrument sites resolve metrics once and cache the object,
+        # so the per-request path never takes the registry lock
+        self._metric_cache: dict = {}
         #: set by the owning daemon once a drain begins; checked on
         #: both the slow path (:meth:`handle`) and the coalescing fast
         #: path (:meth:`fast_path`), which bypasses handle entirely
@@ -187,6 +208,83 @@ class RequestEngine:
             payload["shard"] = shard()
         return payload
 
+    # -- observability -----------------------------------------------------
+
+    def metrics_payload(self) -> dict:
+        """The ``{"cmd": "metrics"}`` payload: one registry snapshot.
+
+        ``enabled`` distinguishes "no traffic yet" from "serving with
+        metrics off"; merge the ``series`` of many shards with
+        :func:`repro.obs.merge_series` (bucket-wise), never by
+        averaging percentiles.
+        """
+        if self.obs is None:
+            return {"enabled": False, "series": []}
+        payload = self.obs.snapshot()
+        payload["enabled"] = True
+        if self.tracer is not None:
+            payload["trace"] = self.tracer.snapshot()
+        return payload
+
+    def latency_histogram(self, verb: str, codec: str, model: str):
+        """The request-latency histogram for one label combination."""
+        key = ("latency", verb, codec, model)
+        hist = self._metric_cache.get(key)
+        if hist is None:
+            hist = self.obs.histogram("repro_request_latency_us",
+                                      verb=verb, codec=codec,
+                                      model=model)
+            self._metric_cache[key] = hist
+        return hist
+
+    def _size_histogram(self, direction: str, codec: str):
+        key = ("bytes", direction, codec)
+        hist = self._metric_cache.get(key)
+        if hist is None:
+            hist = self.obs.histogram("repro_request_bytes",
+                                      bounds=SIZE_BUCKET_BOUNDS_BYTES,
+                                      direction=direction, codec=codec)
+            self._metric_cache[key] = hist
+        return hist
+
+    def observe_request(self, request, codec: str, started_ns: int,
+                        bytes_in: int | None = None,
+                        bytes_out: int | None = None) -> None:
+        """Record one answered request: latency, sizes, slow log.
+
+        Called by every transport with the codec it spoke and the
+        ``perf_counter_ns`` reading it took at ingress; a no-op on
+        uninstrumented engines, so transports need no guard of their
+        own beyond skipping the clock read.
+        """
+        if self.obs is None:
+            return
+        elapsed_us = (time.perf_counter_ns() - started_ns) / 1000.0
+        verb, model = "score", "default"
+        if isinstance(request, dict):
+            cmd = request.get("cmd")
+            if cmd is not None:
+                verb = str(cmd)
+            spec = request.get("model")
+            if spec is not None:
+                model = str(spec)
+        self.latency_histogram(verb, codec, model).record(elapsed_us)
+        if bytes_in is not None:
+            self._size_histogram("in", codec).record(bytes_in)
+        if bytes_out is not None:
+            self._size_histogram("out", codec).record(bytes_out)
+        if self.tracer is not None:
+            self.tracer.observe_slow(elapsed_us, verb, codec=codec,
+                                     model=model)
+
+    def close_observability(self) -> None:
+        """Flush buffered trace events (called off the serving paths)."""
+        if self.tracer is not None:
+            try:
+                self.tracer.flush()
+            except OSError:
+                pass  # an unwritable trace path must not fail shutdown
+
     # -- dispatch ----------------------------------------------------------
 
     def handle(self, request) -> dict:
@@ -208,6 +306,9 @@ class RequestEngine:
                                 request_id(request))
             if cmd == "health":
                 return ok_frame({"health": self.health()},
+                                request_id(request))
+            if cmd == "metrics":
+                return ok_frame({"metrics": self.metrics_payload()},
                                 request_id(request))
             if cmd == "drain":
                 if self.drain_hook is None:
@@ -242,7 +343,16 @@ class RequestEngine:
 
     def process_line(self, line: str) -> str | None:
         """One protocol turn over a text line (the stdio path)."""
-        return _service.process_request_line(line, self.handle)
+        if self.obs is None:
+            return _service.process_request_line(line, self.handle)
+        return _service.process_request_line(line, self._handle_observed)
+
+    def _handle_observed(self, request) -> dict:
+        """The stdio handler with per-request telemetry around it."""
+        started = time.perf_counter_ns()
+        frame = self.handle(request)
+        self.observe_request(request, CODEC_JSON, started)
+        return frame
 
     def process_raw(self, raw: bytes) -> str | None:
         """One protocol turn over a raw byte line (the socket paths).
@@ -255,12 +365,18 @@ class RequestEngine:
             return encode_frame(decode_error)
         if request is None:
             return None
+        started = time.perf_counter_ns() if self.obs is not None else 0
         try:
-            return encode_frame(self.handle(request))
+            response = encode_frame(self.handle(request))
         except Exception as exc:
-            return encode_frame(error_frame(ERROR_INTERNAL,
-                                            f"internal error: {exc}",
-                                            request_id(request)))
+            response = encode_frame(error_frame(ERROR_INTERNAL,
+                                                f"internal error: {exc}",
+                                                request_id(request)))
+        if started:
+            self.observe_request(request, CODEC_JSON, started,
+                                 bytes_in=len(raw),
+                                 bytes_out=len(response))
+        return response
 
     def respond(self, raw: bytes, wire: WireSession) -> bytes | None:
         """One protocol turn over a de-framed frame (codec-aware).
@@ -271,6 +387,8 @@ class RequestEngine:
         connection the bytes produced are identical to
         :meth:`process_raw` on the same line.
         """
+        if self.obs is not None:
+            return self._respond_observed(raw, wire)
         request, decode_error = wire.decode(raw)
         if decode_error is not None:
             return wire.encode(decode_error)
@@ -285,6 +403,41 @@ class RequestEngine:
             return wire.encode(error_frame(ERROR_INTERNAL,
                                            f"internal error: {exc}",
                                            request_id(request)))
+
+    def _respond_observed(self, raw: bytes,
+                          wire: WireSession) -> bytes | None:
+        """:meth:`respond` with telemetry: byte-identical frames, plus
+        latency/size metrics and (sampled) decode/predict/encode spans."""
+        started = time.perf_counter_ns()
+        request, decode_error = wire.decode(raw)
+        decoded_at = time.perf_counter_ns()
+        if decode_error is not None:
+            return wire.encode(decode_error)
+        if request is None:
+            return None
+        hello = wire.negotiate(request)
+        if hello is not None:
+            return hello
+        tracer = self.tracer
+        sampled = tracer is not None and tracer.sample()
+        try:
+            frame = self.handle(request)
+            handled_at = time.perf_counter_ns()
+            encoded = wire.encode(frame)
+        except Exception as exc:
+            handled_at = time.perf_counter_ns()
+            encoded = wire.encode(error_frame(ERROR_INTERNAL,
+                                              f"internal error: {exc}",
+                                              request_id(request)))
+        done_at = time.perf_counter_ns()
+        self.observe_request(request, wire.codec.name, started,
+                             bytes_in=len(raw), bytes_out=len(encoded))
+        if sampled:
+            tracer.complete("decode", started, decoded_at,
+                            codec=wire.codec.name)
+            tracer.complete("predict", decoded_at, handled_at)
+            tracer.complete("encode", handled_at, done_at)
+        return encoded
 
     # -- the micro-batch fast path -----------------------------------------
 
@@ -377,11 +530,15 @@ class RequestEngine:
             def enc_pred(token, req_id, prediction):
                 return wire_of(token).encode_prediction(req_id,
                                                         prediction)
+        tracer = self.tracer
+        sampled = tracer is not None and tracer.sampling \
+            and tracer.sample()
         groups: dict = {}
         for item in items:
             groups.setdefault(id(item[2]), []).append(item)
         for group in groups.values():
             classifier = group[0][2]
+            opened_at = time.perf_counter_ns() if sampled else 0
             try:
                 X = np.asarray([vector for _, _, _, vector in group],
                                dtype=np.float64)
@@ -401,9 +558,16 @@ class RequestEngine:
                         emit(token, enc_frame(token, ok_frame(
                             {"prediction": int(prediction)}, req_id)))
                 continue
+            predicted_at = time.perf_counter_ns() if sampled else 0
             for (token, req_id, _, _), prediction in zip(
                     group, predictions.tolist()):
                 emit(token, enc_pred(token, req_id, int(prediction)))
+            if sampled:
+                tracer.complete("predict", opened_at, predicted_at,
+                                rows=len(group))
+                tracer.complete("encode", predicted_at,
+                                time.perf_counter_ns(),
+                                rows=len(group))
 
 
 def serve_lines(process, stdin=None, stdout=None) -> int:
@@ -687,12 +851,32 @@ class EventLoopServer:
         self._fast_batches = 0
         self._largest_fast_batch = 0
         self._slow_requests = 0
+        # telemetry handles, resolved once in start() when the engine
+        # carries a registry (None otherwise: zero overhead)
+        self._obs_queue_wait = None
+        self._obs_fast_batch = None
+        self._obs_fast_latency = None
+        self._obs_loop_lag = None
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "EventLoopServer":
         self.listener.setblocking(False)
         self.engine.prime()
+        obs = self.engine.obs
+        if obs is not None:
+            self._obs_queue_wait = obs.histogram(
+                "repro_loop_queue_wait_us")
+            self._obs_fast_batch = obs.histogram(
+                "repro_loop_fast_batch_rows",
+                bounds=BATCH_BUCKET_BOUNDS_ROWS)
+            # coalesced rows share one chunk service time; the chunk
+            # may mix connections (codecs) and models, so the labels
+            # name the path rather than pretending per-row identity
+            self._obs_fast_latency = obs.histogram(
+                "repro_request_latency_us", verb="score",
+                codec="coalesced", model="default")
+            self._obs_loop_lag = obs.gauge("repro_loop_lag_us")
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-slow")
         self._thread = threading.Thread(target=self._run,
@@ -764,6 +948,7 @@ class EventLoopServer:
         sel.register(self._wake_r, selectors.EVENT_READ, None)
         self._conns: set = set()
         accepting = True
+        lag_gauge = self._obs_loop_lag
         try:
             while not self._stopping.is_set():
                 if accepting and self._pausing.is_set():
@@ -782,6 +967,8 @@ class EventLoopServer:
                 events = sel.select(timeout=0.5)
                 if self._stopping.is_set():
                     break
+                busy_from = (time.perf_counter_ns()
+                             if lag_gauge is not None else 0)
                 self._dispatch(events, sel, fast)
                 # greedy top-up: whatever arrived while this round was
                 # being read joins the same batch — but never wait
@@ -795,6 +982,11 @@ class EventLoopServer:
                     chunk, fast = fast[:self.max_batch], \
                         fast[self.max_batch:]
                     self._execute_fast(chunk, sel)
+                if lag_gauge is not None:
+                    # how long the loop was busy (unavailable to new
+                    # I/O) this round — the event-loop lag
+                    lag_gauge.set(
+                        (time.perf_counter_ns() - busy_from) / 1000.0)
         finally:
             for conn in list(self._conns):
                 self._close(conn, sel)
@@ -903,7 +1095,15 @@ class EventLoopServer:
     # -- request routing ---------------------------------------------------
 
     def _route(self, conn, raw: bytes, sel, fast) -> None:
+        tracer = self.engine.tracer
+        sampled = (tracer is not None and tracer.sampling
+                   and tracer.sample())
+        decode_from = time.perf_counter_ns() if sampled else 0
         request, decode_error = conn.wire.decode(raw)
+        if sampled:
+            tracer.complete("decode", decode_from,
+                            time.perf_counter_ns(),
+                            codec=conn.wire.codec.name)
         if decode_error is not None:
             self._stage(conn, conn.wire.encode(decode_error), sel)
             return
@@ -932,20 +1132,41 @@ class EventLoopServer:
         # must speak the codec its request arrived under, even if the
         # connection re-negotiates while the request is in flight
         codec = conn.wire.codec
+        engine = self.engine
+        queue_wait = self._obs_queue_wait
+        tracer = engine.tracer if queue_wait is not None else None
+        sampled = (tracer is not None and tracer.sampling
+                   and tracer.sample())
+        submitted = (time.perf_counter_ns()
+                     if queue_wait is not None else 0)
 
         def run() -> None:
+            started = (time.perf_counter_ns()
+                       if queue_wait is not None else 0)
             try:
                 frame = self.engine.handle(request)
             except Exception as exc:  # defensive: handle answers errors
                 frame = error_frame(ERROR_INTERNAL,
                                     f"internal error: {exc}",
                                     request_id(request))
+            handled = (time.perf_counter_ns()
+                       if queue_wait is not None else 0)
             try:
                 encoded = codec.encode_response(frame)
             except (TypeError, ValueError) as exc:
                 encoded = codec.encode_response(error_frame(
                     ERROR_INTERNAL, f"internal error: {exc}",
                     request_id(request)))
+            if queue_wait is not None:
+                done = time.perf_counter_ns()
+                queue_wait.record((started - submitted) / 1000.0)
+                engine.observe_request(request, codec.name, submitted,
+                                       bytes_out=len(encoded))
+                if sampled:
+                    tracer.complete("queue", submitted, started,
+                                    codec=codec.name)
+                    tracer.complete("predict", started, handled)
+                    tracer.complete("encode", handled, done)
             with self._lock:
                 self._completions.append((conn, encoded))
             self._wake()
@@ -965,6 +1186,14 @@ class EventLoopServer:
                 self._maybe_finish(conn, sel)
 
     def _execute_fast(self, chunk, sel) -> None:
+        fast_latency = self._obs_fast_latency
+        tracer = (self.engine.tracer
+                  if fast_latency is not None else None)
+        sampled = (tracer is not None and tracer.sampling
+                   and tracer.sample())
+        opened = (time.perf_counter_ns()
+                  if fast_latency is not None else 0)
+
         def emit(conn, encoded) -> None:
             conn.pending -= 1
             self._stage(conn, encoded, sel)
@@ -979,6 +1208,20 @@ class EventLoopServer:
         self._fast_batches += 1
         self._largest_fast_batch = max(self._largest_fast_batch,
                                        len(chunk))
+        if fast_latency is not None:
+            done = time.perf_counter_ns()
+            elapsed_us = (done - opened) / 1000.0
+            self._obs_fast_batch.record(len(chunk))
+            # every coalesced row shares the chunk's service time;
+            # record_many keeps the per-row cost off the loop thread
+            fast_latency.record_many(elapsed_us, len(chunk))
+            if tracer is not None:
+                tracer.observe_slow(elapsed_us, "score",
+                                    codec="coalesced",
+                                    rows=len(chunk))
+                if sampled:
+                    tracer.complete("batch", opened, done,
+                                    rows=len(chunk))
 
     # -- writing -----------------------------------------------------------
 

@@ -22,6 +22,7 @@ Examples::
     repro serve --socket /tmp/repro.sock --shards 4 --supervise
 
     repro fleet stats --socket /tmp/repro.sock
+    repro fleet metrics --prom --socket /tmp/repro.sock
     repro fleet health --socket /tmp/repro.sock --shard 0
     repro fleet models --socket /tmp/repro.sock
     repro fleet load forest:static-all --socket /tmp/repro.sock
@@ -331,7 +332,9 @@ def _fleet_command(args) -> int:
     import json as _json
 
     from repro.api.admin import AdminClient
+    from repro.api.admin import collect_metrics as collect_fleet_metrics
     from repro.api.admin import collect_stats as collect_fleet_stats
+    from repro.obs import render_prometheus
 
     if (args.socket is None) == (args.tcp is None):
         print("fleet: configure exactly one endpoint (--socket PATH "
@@ -349,9 +352,26 @@ def _fleet_command(args) -> int:
         stats = collect_fleet_stats(args.socket, timeout=args.timeout)
         print(_json.dumps(stats.as_dict(), indent=2))
         return 0
+    if (args.verb == "metrics" and args.socket
+            and getattr(args, "shard", None) is None):
+        # bucket-wise merge across every registered shard: adding
+        # histogram counts keeps fleet percentiles exact
+        merged = collect_fleet_metrics(args.socket, timeout=args.timeout)
+        if args.prom:
+            sys.stdout.write(render_prometheus(list(merged.series)))
+        else:
+            print(_json.dumps(merged.as_dict(), indent=2))
+        return 0
     with AdminClient(timeout=args.timeout, **_fleet_endpoint(args)) as admin:
         if args.verb == "stats":
             print(_json.dumps(admin.stats(), indent=2))
+        elif args.verb == "metrics":
+            payload = admin.metrics()
+            if args.prom:
+                sys.stdout.write(
+                    render_prometheus(payload.get("series") or []))
+            else:
+                print(_json.dumps(payload, indent=2))
         elif args.verb == "health":
             health = admin.health()
             where = "" if health.index is None else f" shard {health.index}"
@@ -514,8 +534,8 @@ def main(argv=None) -> int:
 
     flt = sub.add_parser(
         "fleet", help="operate a running scoring deployment over the "
-                      "typed admin API (stats, health, models, load, "
-                      "evict, promote, drain, restart)")
+                      "typed admin API (stats, metrics, health, "
+                      "models, load, evict, promote, drain, restart)")
     fleet_sub = flt.add_subparsers(dest="verb", required=True)
 
     def _add_fleet_endpoint(p, shardable: bool = True) -> None:
@@ -535,6 +555,14 @@ def main(argv=None) -> int:
     _add_fleet_endpoint(fleet_sub.add_parser(
         "stats", help="stats tree (fleet-wide aggregate on a shard "
                       "registry; --shard for one shard)"))
+    mtr = fleet_sub.add_parser(
+        "metrics", help="telemetry snapshot (bucket-wise merged "
+                        "across a shard registry; --shard for one "
+                        "shard)")
+    mtr.add_argument("--prom", action="store_true",
+                     help="render Prometheus text exposition instead "
+                          "of JSON")
+    _add_fleet_endpoint(mtr)
     _add_fleet_endpoint(fleet_sub.add_parser(
         "health", help="liveness/drain probe (exit 0 serving, "
                        "1 draining)"))

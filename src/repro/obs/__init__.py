@@ -1,0 +1,46 @@
+"""``repro.obs`` — telemetry for the serving stack.
+
+Three small, dependency-free layers the serving code threads through
+every transport (see the README's "Observability" section):
+
+* :mod:`repro.obs.metrics` — counters, gauges and mergeable
+  fixed-bucket latency histograms behind one
+  :class:`~repro.obs.metrics.MetricsRegistry` per process;
+* :mod:`repro.obs.trace` — sampled Chrome-``trace_event`` spans and
+  the always-on slow-request log;
+* :mod:`repro.obs.log` — the JSON-lines structured logger;
+* :mod:`repro.obs.prom` — Prometheus text exposition of (merged)
+  registry snapshots.
+"""
+
+from repro.obs.log import JsonLogger, get_logger
+from repro.obs.metrics import (
+    BATCH_BUCKET_BOUNDS_ROWS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKET_BOUNDS_US,
+    MetricsRegistry,
+    SIZE_BUCKET_BOUNDS_BYTES,
+    histogram_quantile,
+    merge_series,
+)
+from repro.obs.prom import render_prometheus
+from repro.obs.trace import DEFAULT_SLOW_REQUEST_US, Tracer
+
+__all__ = [
+    "BATCH_BUCKET_BOUNDS_ROWS",
+    "Counter",
+    "DEFAULT_SLOW_REQUEST_US",
+    "Gauge",
+    "Histogram",
+    "JsonLogger",
+    "LATENCY_BUCKET_BOUNDS_US",
+    "MetricsRegistry",
+    "SIZE_BUCKET_BOUNDS_BYTES",
+    "Tracer",
+    "get_logger",
+    "histogram_quantile",
+    "merge_series",
+    "render_prometheus",
+]

@@ -1,0 +1,127 @@
+"""JSON-lines structured logging for the serving stack.
+
+One :class:`JsonLogger` per component, emitting one JSON object per
+line on stderr through the stdlib :mod:`logging` machinery (handlers
+stay swappable for embedders).  Every record carries ``ts``, ``level``,
+``component``, ``event`` and ``pid``; call-site keyword arguments and
+logger-bound fields (e.g. a shard index) ride along as top-level keys::
+
+    log = get_logger("supervisor")
+    log.info("respawn", shard=2, pid=4711, reason="exit")
+
+emits::
+
+    {"ts": ..., "level": "info", "component": "supervisor",
+     "event": "respawn", "pid": ..., "shard": 2, ...}
+
+The threshold comes from ``REPRO_LOG_LEVEL`` (``debug`` / ``info`` /
+``warning`` / ``error``; default ``info``) and is resolved when the
+logger is built, so shard processes forked after an env change pick it
+up independently.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+
+__all__ = ["JsonLogger", "get_logger"]
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+#: reserved record keys; caller fields never overwrite them.
+_RESERVED = ("ts", "level", "component", "event", "pid")
+
+
+def _env_level() -> int:
+    name = os.environ.get("REPRO_LOG_LEVEL", "info").strip().lower()
+    return _LEVELS.get(name, logging.INFO)
+
+
+class _JsonFormatter(logging.Formatter):
+    """Format one record as a single JSON object line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "component": getattr(record, "component", record.name),
+            "event": record.getMessage(),
+            "pid": record.process,
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            for key, value in fields.items():
+                if key not in _RESERVED:
+                    payload[key] = value
+        # default=str so a non-JSON-safe field degrades to its repr
+        # instead of killing the log line that was reporting a problem
+        return json.dumps(payload, default=str)
+
+
+def _backing_logger(component: str) -> logging.Logger:
+    logger = logging.getLogger(f"repro.{component}")
+    logger.setLevel(_env_level())
+    logger.propagate = False
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(_JsonFormatter())
+        logger.addHandler(handler)
+    return logger
+
+
+class JsonLogger:
+    """A component-bound, field-carrying JSON-lines logger.
+
+    Thin wrapper over one stdlib logger; :meth:`bind` derives a child
+    sharing the handler but carrying extra constant fields (the shard
+    index pattern), so every line of one shard is attributable without
+    threading the index through every call site.
+    """
+
+    __slots__ = ("component", "_logger", "_bound")
+
+    def __init__(self, component: str, _bound: dict | None = None) -> None:
+        self.component = component
+        self._logger = _backing_logger(component)
+        self._bound = dict(_bound) if _bound else {}
+
+    def bind(self, **fields) -> "JsonLogger":
+        """A derived logger with *fields* attached to every record."""
+        merged = dict(self._bound)
+        merged.update(fields)
+        return JsonLogger(self.component, _bound=merged)
+
+    def _log(self, level: int, event: str, fields: dict) -> None:
+        if not self._logger.isEnabledFor(level):
+            return
+        merged = dict(self._bound)
+        merged.update(fields)
+        self._logger.log(level, event,
+                         extra={"component": self.component,
+                                "fields": merged})
+
+    def debug(self, event: str, **fields) -> None:
+        self._log(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._log(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._log(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._log(logging.ERROR, event, fields)
+
+
+def get_logger(component: str, **fields) -> JsonLogger:
+    """The JSON-lines logger for *component*, with optional bound fields."""
+    logger = JsonLogger(component)
+    return logger.bind(**fields) if fields else logger

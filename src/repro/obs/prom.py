@@ -1,0 +1,103 @@
+"""Prometheus text-format exposition for registry snapshots.
+
+:func:`render_prometheus` turns a series list (one registry snapshot's
+``"series"``, or the output of :func:`repro.obs.metrics.merge_series`)
+into the Prometheus text exposition format (version 0.0.4), so
+``repro fleet metrics --prom`` can feed any scraper.  Histograms
+render with the cumulative ``_bucket{le=...}`` convention (including
+the mandatory ``+Inf`` bucket) plus ``_sum`` / ``_count``; counters
+gain the conventional ``# TYPE`` metadata per metric name.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_FIX = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name) -> str:
+    name = str(name)
+    if _NAME_OK.match(name):
+        return name
+    name = _NAME_FIX.sub("_", name)
+    if not name or not _NAME_OK.match(name):
+        name = "_" + name
+    return name
+
+
+def _label_value(value) -> str:
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(labels: dict, extra: dict | None = None) -> str:
+    pairs = dict(labels or {})
+    if extra:
+        pairs.update(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{_metric_name(key)}="{_label_value(value)}"'
+        for key, value in sorted(pairs.items()))
+    return "{" + body + "}"
+
+
+def _number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(series) -> str:
+    """Render a series list as Prometheus text exposition.
+
+    Rows sharing a metric name emit one ``# TYPE`` header (first kind
+    wins); malformed rows are skipped rather than corrupting the
+    scrape.  The returned text ends with a newline, as scrapers
+    expect.
+    """
+    lines: list = []
+    typed: set = set()
+    for row in series or []:
+        if not isinstance(row, dict):
+            continue
+        name = row.get("name")
+        kind = row.get("kind")
+        if not name or kind not in ("counter", "gauge", "histogram"):
+            continue
+        name = _metric_name(name)
+        labels = row.get("labels") or {}
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+        if kind in ("counter", "gauge"):
+            lines.append(f"{name}{_labels(labels)} "
+                         f"{_number(row.get('value', 0))}")
+            continue
+        bounds = row.get("bounds") or []
+        counts = row.get("counts") or []
+        cumulative = 0
+        for idx, bound in enumerate(bounds):
+            cumulative += counts[idx] if idx < len(counts) else 0
+            lines.append(
+                f"{name}_bucket"
+                f"{_labels(labels, {'le': _number(bound)})} "
+                f"{cumulative}")
+        total = row.get("count", 0)
+        lines.append(f"{name}_bucket{_labels(labels, {'le': '+Inf'})} "
+                     f"{_number(total)}")
+        lines.append(f"{name}_sum{_labels(labels)} "
+                     f"{_number(row.get('sum', 0.0))}")
+        lines.append(f"{name}_count{_labels(labels)} {_number(total)}")
+    return "\n".join(lines) + "\n" if lines else ""
