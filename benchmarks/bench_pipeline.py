@@ -910,6 +910,127 @@ def bench_codec_backend(batch_rows: int = 10_000, rounds: int = 5,
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def bench_stream_codec(requests: int = 4000, window: int = 64,
+                       rounds: int = 5,
+                       batch_rows: int = 10_000) -> dict:
+    """Pipelined codec shootout on one fleet daemon, interleaved paired.
+
+    The binary-v2 acceptance bench: json, binary-v1 and binary-v2
+    clients pipeline the same single-row workload (``window`` in
+    flight) against one event-loop fleet daemon, alternating inside
+    each measurement round so the ratios are paired on a shared box.
+    binary-v2 flushes its window as packed multi-row stream frames the
+    server scores without decoding to Python floats; v1 and json send
+    one frame per row.  The batched verb is measured for both binary
+    codecs too — the streaming path must not tax the bulk path.
+    Medians per codec are recorded, and every wire prediction is
+    asserted identical to the local classifier (rows are pre-rounded
+    to the f32 grid, so all codecs score bit-identical inputs).
+    The acceptance bar is pipelined binary-v2 >= 2x pipelined json.
+    """
+    from repro.api import (
+        CODEC_BINARY,
+        CODEC_BINARY_V2,
+        CODEC_JSON,
+        Classifier,
+        MicroBatcher,
+        ModelFleet,
+        ReproConfig,
+        ScoringClient,
+        ScoringDaemon,
+    )
+    from repro.dataset.registry import get_kernel_spec
+
+    specs = [get_kernel_spec(name)
+             for name in ("gemm", "atax", "fir", "stream_triad")]
+    workdir = tempfile.mkdtemp(prefix="bench_stream_")
+    fleet = None
+    codecs = (CODEC_JSON, CODEC_BINARY, CODEC_BINARY_V2)
+    try:
+        dataset = build_dataset("unit", specs=specs,
+                                cache_dir=os.path.join(workdir, "sim"))
+        clf = Classifier(ReproConfig(profile="unit")).train(dataset)
+        X = dataset.matrix(clf.feature_names_)
+        # the f32 grid the binary codecs transport: all three variants
+        # must score bit-identical inputs
+        X = X.astype(np.float32).astype(np.float64)
+        reps = max(1, -(-requests // len(X)))
+        rows = np.tile(X, (reps, 1))[:requests]
+        reps = max(1, -(-batch_rows // len(X)))
+        big = np.tile(X, (reps, 1))[:batch_rows]
+        expected_rows = [int(p) for p in clf.predict_batch(rows)]
+        expected_big = [int(p) for p in clf.predict_batch(big)]
+
+        socket_path = os.path.join(workdir, "stream.sock")
+        fleet = ModelFleet(batcher=MicroBatcher(max_batch=window,
+                                                max_delay_us=1000),
+                           default=clf)
+        daemon = ScoringDaemon(fleet=fleet, socket_path=socket_path,
+                               workers=4)
+
+        def run_pipelined(codec: str) -> float:
+            with ScoringClient(socket_path=socket_path,
+                               codec=codec) as client:
+                if client.codec != codec:
+                    raise AssertionError(
+                        f"negotiated {client.codec!r}, wanted {codec!r}")
+                client.predict_pipelined(rows[:64], window=window)
+                start = time.perf_counter()
+                got = client.predict_pipelined(rows, window=window)
+                wall = time.perf_counter() - start
+            if got != expected_rows:
+                raise AssertionError(
+                    f"{codec} pipelined predictions diverged")
+            return round(len(rows) / wall, 1)
+
+        def run_batched(codec: str) -> float:
+            with ScoringClient(socket_path=socket_path,
+                               codec=codec) as client:
+                client.predict_batch(big[:64])  # warm-up
+                start = time.perf_counter()
+                got = client.predict_batch(big)
+                wall = time.perf_counter() - start
+            if got != expected_big:
+                raise AssertionError(
+                    f"{codec} batched predictions diverged")
+            return round(len(big) / wall, 1)
+
+        pipe_runs: dict = {codec: [] for codec in codecs}
+        batch_runs: dict = {codec: [] for codec in codecs[1:]}
+        with daemon:
+            run_pipelined(CODEC_JSON)  # page everything in once
+            for _ in range(rounds):
+                for codec in codecs:
+                    pipe_runs[codec].append(run_pipelined(codec))
+                for codec in batch_runs:
+                    batch_runs[codec].append(run_batched(codec))
+
+        pipelined = {codec: sorted(runs)[rounds // 2]
+                     for codec, runs in pipe_runs.items()}
+        batched = {codec: sorted(runs)[rounds // 2]
+                   for codec, runs in batch_runs.items()}
+        return {
+            "transport": "unix",
+            "requests": requests,
+            "window": window,
+            "rounds": rounds,
+            "batch_rows": len(big),
+            "pipelined_rows_per_sec": pipelined,
+            "batched_rows_per_sec": batched,
+            "stream_speedup_vs_json": round(
+                pipelined[CODEC_BINARY_V2] / pipelined[CODEC_JSON], 2),
+            "stream_speedup_vs_v1": round(
+                pipelined[CODEC_BINARY_V2] / pipelined[CODEC_BINARY],
+                2),
+            "batched_v2_vs_v1": round(
+                batched[CODEC_BINARY_V2] / batched[CODEC_BINARY], 2),
+        }
+    finally:
+        if fleet is not None:
+            fleet.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
 def bench_obs_overhead(batch_rows: int = 20_000, rounds: int = 21,
                        batch_reps: int = 3, single_reps: int = 100,
                        e2e_rounds: int = 3,
@@ -1133,6 +1254,34 @@ def bench_obs_overhead(batch_rows: int = 20_000, rounds: int = 21,
         shutil.rmtree(workdir, ignore_errors=True)
 
 
+def _run_stream_leg(results: dict, floor: float) -> int:
+    """Run the stream-codec leg into *results*; 0 when over the bar."""
+    print("stream codec shootout, json vs binary-v1 vs binary-v2 "
+          "(interleaved paired) ...", flush=True)
+    results["stream_codec"] = bench_stream_codec()
+    stream = results["stream_codec"]
+    for codec, rps in stream["pipelined_rows_per_sec"].items():
+        print(f"  {codec:>9} pipelined: {rps} rows/s")
+    print(f"  binary-v2 vs json {stream['stream_speedup_vs_json']}x, "
+          f"vs binary-v1 {stream['stream_speedup_vs_v1']}x")
+    print(f"  batched: v1 "
+          f"{stream['batched_rows_per_sec']['binary-v1']} rows/s, v2 "
+          f"{stream['batched_rows_per_sec']['binary-v2']} rows/s "
+          f"({stream['batched_v2_vs_v1']}x)")
+    status = 0
+    if stream["stream_speedup_vs_json"] < floor:
+        print(f"  FAIL: pipelined binary-v2 is only "
+              f"{stream['stream_speedup_vs_json']}x pipelined json, "
+              f"the bar is {floor}x", file=sys.stderr)
+        status = 1
+    if stream["batched_v2_vs_v1"] < 0.9:
+        print(f"  FAIL: batched binary-v2 regressed to "
+              f"{stream['batched_v2_vs_v1']}x of binary-v1",
+              file=sys.stderr)
+        status = 1
+    return status
+
+
 def _run_obs_leg(results: dict, budget_pct: float) -> int:
     """Run the telemetry-overhead leg into *results*; 0 when on budget."""
     print("telemetry overhead, metrics on vs off (interleaved "
@@ -1181,11 +1330,19 @@ def main(argv=None) -> int:
     parser.add_argument("--obs-budget", type=float, default=3.0,
                         help="fail when batched telemetry overhead "
                              "exceeds this percentage (default 3.0)")
+    parser.add_argument("--stream-only", action="store_true",
+                        help="run only the stream-codec shootout and "
+                             "merge its 'stream_codec' section into "
+                             "--output")
+    parser.add_argument("--stream-floor", type=float, default=2.0,
+                        help="fail when pipelined binary-v2 is below "
+                             "this multiple of pipelined json "
+                             "(default 2.0)")
     args = parser.parse_args(argv)
 
-    if args.obs_only:
-        # CI's quick gate: refresh just the obs section, keep every
-        # other recorded number untouched
+    if args.obs_only or args.stream_only:
+        # CI's quick gates: refresh just the requested section(s),
+        # keep every other recorded number untouched
         results = {}
         if os.path.exists(args.output):
             try:
@@ -1194,7 +1351,11 @@ def main(argv=None) -> int:
             except (OSError, json.JSONDecodeError):
                 results = {}
         results.setdefault("bench", "pipeline")
-        status = _run_obs_leg(results, args.obs_budget)
+        status = 0
+        if args.obs_only:
+            status |= _run_obs_leg(results, args.obs_budget)
+        if args.stream_only:
+            status |= _run_stream_leg(results, args.stream_floor)
         with open(args.output, "w") as handle:
             json.dump(results, handle, indent=2)
             handle.write("\n")
@@ -1334,7 +1495,8 @@ def main(argv=None) -> int:
     print(f"  binary+compiled vs daemon batched "
           f"({ref_batched} rows/s): {ratio}x")
 
-    status = _run_obs_leg(results, args.obs_budget)
+    status = _run_stream_leg(results, args.stream_floor)
+    status |= _run_obs_leg(results, args.obs_budget)
 
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2)

@@ -16,6 +16,12 @@ verbs (``list_models`` / ``load_model`` / ``evict_model``), the
 ``stats`` verb including its per-codec traffic section, and clean
 shutdown (socket unlinked, counters consistent).
 
+Then the **mixed-codec pipelined** leg: json, ``binary-v1`` and
+``binary-v2`` clients pipeline the same default-model rows through one
+fleet daemon concurrently — the v2 window travels as packed multi-row
+stream frames (asserted via the server's ``stream_rows`` counter) and
+all three result lists must be byte-identical.
+
 Then the **sharded** leg: a ``--shards``-process
 :class:`repro.api.ShardManager` deployment behind one unix shard
 registry, pipelined JSON *and* binary client round trips through it
@@ -58,6 +64,7 @@ import numpy as np  # noqa: E402
 from repro.api import (  # noqa: E402
     AdminClient,
     CODEC_BINARY,
+    CODEC_BINARY_V2,
     CODEC_JSON,
     MicroBatcher,
     ModelFleet,
@@ -539,6 +546,75 @@ def main(argv=None) -> int:
             f"clean shutdown"
         )
 
+        # -- mixed-codec pipelined leg: json + v1 + v2 concurrently ----
+        # three clients pipeline the same default-model rows through
+        # one fleet daemon at once; the v2 client must travel as
+        # multi-row stream frames (asserted via the server counters)
+        # and all three must come back byte-identical
+        pipe_fleet = ModelFleet(
+            ModelPool(),
+            MicroBatcher(max_batch=args.max_batch, max_delay_us=1000),
+            default=tree,
+        )
+        pipe_path = os.path.join(workdir, "pipelined.sock")
+        pipe_codecs = (CODEC_JSON, CODEC_BINARY, CODEC_BINARY_V2)
+        pipe_rows = rows_of[None]
+        pipe_results: list = [None] * len(pipe_codecs)
+        pipe_errors: list = []
+
+        def pipe_worker(slot: int) -> None:
+            codec = pipe_codecs[slot]
+            try:
+                with ScoringClient(socket_path=pipe_path,
+                                   codec=codec) as client:
+                    assert client.codec == codec, (client.codec, codec)
+                    pipe_results[slot] = client.predict_pipelined(
+                        pipe_rows, window=16)
+            except Exception as exc:  # surfaced below as a failure
+                pipe_errors.append(exc)
+
+        pipe_daemon = ScoringDaemon(
+            fleet=pipe_fleet,
+            socket_path=pipe_path,
+            workers=args.workers,
+        )
+        with pipe_daemon:
+            threads = [
+                threading.Thread(target=pipe_worker, args=(slot,))
+                for slot in range(len(pipe_codecs))
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=120)
+            hung = [i for i, t in enumerate(threads) if t.is_alive()]
+            if hung:
+                raise SmokeFailure(
+                    f"pipelined client thread(s) {hung} still running "
+                    f"after the 120s join timeout; the daemon has "
+                    f"stalled"
+                )
+            with AdminClient(socket_path=pipe_path) as admin:
+                pipe_server = admin.stats()["server"]
+        pipe_fleet.close()
+        if pipe_errors:
+            raise pipe_errors[0]
+        for slot, codec in enumerate(pipe_codecs):
+            check_identical(f"mixed pipelined ({codec})",
+                            pipe_results[slot], expected[None])
+        if pipe_server.get("stream_rows", 0) < len(pipe_rows):
+            raise SmokeFailure(
+                f"binary-v2 rows did not travel as stream frames: "
+                f"{pipe_server.get('stream_rows', 0)} stream rows for "
+                f"{len(pipe_rows)} pipelined rows"
+            )
+        print(
+            f"mixed-codec pipelined smoke OK: {len(pipe_codecs)} "
+            f"codecs x {len(pipe_rows)} rows byte-identical, "
+            f"{pipe_server['stream_rows']} rows in "
+            f"{pipe_server['stream_frames']} stream frames"
+        )
+
         # -- sharded leg: N processes, one registry, pipelined client --
         artifact = os.path.join(workdir, "tree.json")
         tree.save(artifact)
@@ -575,6 +651,15 @@ def main(argv=None) -> int:
                     client.predict_batch(rows),
                     want,
                 )
+            # and once more as binary-v2 stream frames — the forked
+            # shard daemons negotiate and serve the multi-row path too
+            with ScoringClient(socket_path=base,
+                               codec=CODEC_BINARY_V2) as client:
+                assert client.codec == CODEC_BINARY_V2
+                got = client.predict_pipelined(
+                    [list(map(float, row)) for row in rows], window=16
+                )
+                check_identical("sharded pipelined (binary-v2)", got, want)
             shard_requests = {}
             for row in registry:
                 with AdminClient(socket_path=row["path"]) as admin:
@@ -593,12 +678,16 @@ def main(argv=None) -> int:
                 merged_codec
             )
             assert merged_codec["bytes_in"].get(CODEC_BINARY, 0) > 0
+            # the v2 stream frame counted all its rows as requests
+            assert merged_codec["requests"].get(CODEC_BINARY_V2, 0) >= len(
+                rows
+            ), merged_codec
         assert not os.path.exists(base), "registry not removed"
         for row in registry:
             assert not os.path.exists(row["path"]), "shard socket left"
 
         print(
-            f"shard smoke OK: {len(rows)} pipelined predictions x 2 "
+            f"shard smoke OK: {len(rows)} pipelined predictions x 3 "
             f"codecs across {args.shards} shards, per-shard requests "
             f"{shard_requests}, aggregated "
             f"{aggregated.requests_served} requests, "

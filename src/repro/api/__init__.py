@@ -129,6 +129,7 @@ from repro.api.selection import (
 from repro.api.service import handle_request, process_line, serve
 from repro.api.wire import (
     CODEC_BINARY,
+    CODEC_BINARY_V2,
     CODEC_JSON,
     DEFAULT_CODECS,
     WireSession,
@@ -172,6 +173,7 @@ __all__ = [
     "BACKEND_REFERENCE",
     "BACKENDS",
     "CODEC_BINARY",
+    "CODEC_BINARY_V2",
     "CODEC_JSON",
     "DEFAULT_CODECS",
     "WireSession",

@@ -27,18 +27,19 @@ request retried after a shard crash lands on a live shard.  Sharded
 TCP endpoints need nothing: the kernel balances ``SO_REUSEPORT``
 listeners behind the one port.
 
-**Codecs** (see :mod:`repro.api.wire`): with ``codec="binary-v1"``
-the client opens every (re)connection with a
+**Codecs** (see :mod:`repro.api.wire`): with ``codec="binary-v2"``
+(or ``"binary-v1"``) the client opens every (re)connection with a
 ``{"cmd": "hello", "codecs": [...]}`` handshake and — when the server
 agrees — switches to the length-prefixed binary codec: feature rows
 travel as packed float32 arrays and predictions come back as packed
 ints, with every cold verb and error shape embedded as JSON frames
-inside the binary framing.  Servers that predate codecs (or were
-started JSON-only) answer the hello with an error or a ``json``
-choice; the client simply stays on JSON, so ``codec="binary-v1"`` is
-always safe to request.  Reconnects re-negotiate from scratch and
-pending requests are re-encoded in whatever codec the new connection
-agreed to.
+inside the binary framing.  A ``binary-v2`` preference offers
+``["binary-v2", "binary-v1"]`` so older servers land on v1; servers
+that predate codecs (or were started JSON-only) answer the hello with
+an error or a ``json`` choice and the client simply stays on JSON —
+requesting a binary codec is always safe.  Reconnects re-negotiate
+from scratch and pending requests are re-encoded in whatever codec
+the new connection agreed to.
 
 **Pipelining**: :meth:`request_pipelined` /
 :meth:`predict_pipelined` keep up to ``window`` requests in flight on
@@ -76,8 +77,17 @@ import threading
 import warnings
 from collections import deque
 
+import numpy as np
+
 from repro.api.protocol import ERROR_DRAINING, MAX_RESPONSE_BYTES
-from repro.api.wire import CODEC_JSON, CODECS, JSON_CODEC
+from repro.api.wire import (
+    BINARY_V2_CODEC,
+    CODEC_BINARY,
+    CODEC_BINARY_V2,
+    CODEC_JSON,
+    CODECS,
+    JSON_CODEC,
+)
 from repro.errors import ScoringError
 
 #: raised (as ScoringError.code) on response-id mismatches.
@@ -128,6 +138,13 @@ class ScoringClient:
                 code=ERROR_TRANSPORT,
             )
         self._codec_pref = codec
+        # the hello offer list, most-preferred first: asking for v2
+        # also offers v1 so an older server still upgrades the
+        # connection as far as it can
+        if codec == CODEC_BINARY_V2:
+            self._codec_offers = [CODEC_BINARY_V2, CODEC_BINARY]
+        else:
+            self._codec_offers = [codec]
         self._codec = JSON_CODEC  # pre-negotiation state
         self._socket_path = socket_path
         self._tcp = tuple(tcp) if tcp is not None else None
@@ -219,7 +236,7 @@ class ScoringClient:
         """
         req_id = self._next_id
         self._next_id += 1
-        hello = {"cmd": "hello", "codecs": [self._codec_pref],
+        hello = {"cmd": "hello", "codecs": list(self._codec_offers),
                  "id": req_id}
         self._sock.sendall(JSON_CODEC.encode_request(hello))
         line = self._recv_line()
@@ -632,7 +649,53 @@ class ScoringClient:
         idle waiting for a round trip.  Returns predictions in row
         order; the first typed error frame raises
         :class:`ScoringError` with the daemon's code.
+
+        On a negotiated ``binary-v2`` connection, default-model vector
+        rows skip per-request dicts entirely: the in-flight window is
+        flushed as packed multi-row ``PREDICT_STREAM`` frames built
+        straight from ``(req_id, f32 row)`` arrays, and packed
+        ``PREDICTIONS_STREAM`` responses are paired back by id — a
+        handful of syscalls per window instead of one per row.
         """
+        if window < 1:
+            raise ScoringError(
+                f"window must be >= 1, got {window}",
+                code=ERROR_TRANSPORT,
+            )
+        rows = list(rows)
+        if not rows:
+            return []
+        if (model is None and self._codec.name == CODEC_BINARY_V2
+                and not any(hasattr(row, "keys") for row in rows)):
+            try:
+                matrix = np.ascontiguousarray(rows, dtype="<f4")
+            except (TypeError, ValueError):
+                matrix = None
+            if matrix is not None and matrix.ndim == 2:
+                results, remaining = self._stream_pipelined(matrix,
+                                                            window)
+                if remaining:
+                    # a reconnect negotiated away from binary-v2 (an
+                    # older or json-only replacement server): finish
+                    # the leftover rows as classic per-request frames
+                    # — same f32 values, so predictions are identical
+                    payloads = [
+                        {"features":
+                         matrix[index].astype(np.float64).tolist()}
+                        for index in remaining]
+                    frames = self.request_pipelined(payloads,
+                                                    window=window)
+                    for index, frame in zip(remaining, frames):
+                        if not frame.get("ok"):
+                            raise ScoringError(
+                                str(frame.get(
+                                    "error",
+                                    "unspecified daemon error")),
+                                code=frame.get("code"),
+                                request_id=frame.get("id"),
+                            )
+                        results[index] = int(frame["prediction"])
+                return results
         payloads = [self._features_payload(row, model) for row in rows]
         frames = self.request_pipelined(payloads, window=window)
         predictions: list = []
@@ -645,6 +708,155 @@ class ScoringClient:
                 )
             predictions.append(int(frame["prediction"]))
         return predictions
+
+    def _stream_pipelined(self, matrix, window: int) -> tuple:
+        """The ``binary-v2`` pipelined engine: the in-flight window
+        travels as packed multi-row stream frames.
+
+        Returns ``(results, remaining)``: *results* holds a prediction
+        at every answered index, *remaining* lists indexes left
+        unanswered because a reconnect negotiated a different codec
+        (the caller finishes those generically).  Transport failures,
+        drains and id mismatches behave exactly like
+        :meth:`request_pipelined`; the first typed per-row error
+        raises.
+        """
+        n = len(matrix)
+        with self._lock:
+            if self._closed:
+                raise ScoringError("client is closed",
+                                   code=ERROR_TRANSPORT)
+            base = self._next_id
+            self._next_id += n
+            ids = np.arange(base, base + n, dtype="<i8")
+            results: list = [None] * n
+            to_send: deque = deque(range(n))
+            in_flight: dict = {}  # req_id -> row index
+            drops = 0
+            done = 0
+            while done < n:
+                try:
+                    if self._dead:
+                        self._sock = self._connect()
+                        if self._codec.name != CODEC_BINARY_V2:
+                            break  # finish generically (see caller)
+                    if to_send and len(in_flight) < window:
+                        # flush the free window as ONE stream frame
+                        take = min(window - len(in_flight),
+                                   len(to_send))
+                        indices = [to_send.popleft()
+                                   for _ in range(take)]
+                        for index in indices:
+                            in_flight[base + index] = index
+                        self._sock.sendall(
+                            BINARY_V2_CODEC.encode_predict_stream(
+                                ids[indices], matrix[indices]))
+                    raw = self._recv_frame()
+                except (ConnectionResetError, BrokenPipeError) as exc:
+                    drops += 1
+                    self._teardown_connection()
+                    if drops > self._reconnect_retries:
+                        raise ScoringError(
+                            f"connection to the daemon was dropped "
+                            f"({exc}) and was not recovered after "
+                            f"{drops} attempt(s)",
+                            code=ERROR_TRANSPORT,
+                        )
+                    self._requeue_in_flight(in_flight, to_send)
+                    continue
+                except ScoringError:
+                    raise
+                except OSError as exc:
+                    self._teardown_connection()
+                    raise ScoringError(
+                        f"transport failure talking to the daemon: "
+                        f"{exc}",
+                        code=ERROR_TRANSPORT,
+                    )
+                if not raw:
+                    drops += 1
+                    self._teardown_connection()
+                    if drops > self._reconnect_retries:
+                        raise ScoringError(
+                            "connection closed by the daemon before "
+                            "every pipelined response arrived",
+                            code=ERROR_TRANSPORT,
+                        )
+                    self._requeue_in_flight(in_flight, to_send)
+                    continue
+                try:
+                    response = self._codec.decode_response(raw)
+                except ValueError as exc:
+                    self._teardown_connection()
+                    raise ScoringError(
+                        f"daemon sent an undecodable frame: {exc}",
+                        code=ERROR_TRANSPORT,
+                    )
+                if not isinstance(response, dict):
+                    self._teardown_connection()
+                    raise ScoringError(
+                        "daemon sent a non-object frame",
+                        code=ERROR_TRANSPORT,
+                    )
+                stream = response.get("stream")
+                if stream is not None:
+                    # one packed frame completes a whole chunk of ids
+                    for rid, prediction in zip(stream[0].tolist(),
+                                               stream[1].tolist()):
+                        index = in_flight.pop(rid, None)
+                        if index is None:
+                            self._teardown_connection()
+                            raise ScoringError(
+                                f"stream response id {rid!r} does not "
+                                f"match any in-flight pipelined "
+                                f"request; stream is desynchronized",
+                                code=ERROR_ID_MISMATCH,
+                            )
+                        results[index] = prediction
+                        done += 1
+                    continue
+                index = in_flight.pop(response.get("id"), None)
+                if index is None:
+                    self._teardown_connection()
+                    if not response.get("ok") and "id" not in response:
+                        raise ScoringError(
+                            str(response.get(
+                                "error", "unspecified daemon error")),
+                            code=response.get("code"),
+                        )
+                    raise ScoringError(
+                        f"response id {response.get('id')!r} does not "
+                        f"match any in-flight pipelined request; "
+                        f"stream is desynchronized",
+                        code=ERROR_ID_MISMATCH,
+                    )
+                if (not response.get("ok")
+                        and response.get("code") == ERROR_DRAINING):
+                    # rows refused by a draining shard requeue (this
+                    # one included) and move to a live sibling
+                    drops += 1
+                    self._teardown_connection()
+                    if drops > self._reconnect_retries:
+                        raise ScoringError(
+                            "the server kept draining and no live "
+                            "sibling answered within "
+                            f"{drops} reconnect attempt(s)",
+                            code=ERROR_DRAINING,
+                        )
+                    in_flight[base + index] = index
+                    self._requeue_in_flight(in_flight, to_send)
+                    continue
+                if not response.get("ok"):
+                    raise ScoringError(
+                        str(response.get("error",
+                                         "unspecified daemon error")),
+                        code=response.get("code"),
+                        request_id=response.get("id"),
+                    )
+                results[index] = int(response["prediction"])
+                done += 1
+            remaining = sorted(set(in_flight.values()) | set(to_send))
+            return results, remaining
 
     def predict_kernel(
         self,

@@ -46,10 +46,36 @@ DEFAULT_QUEUE_SIZE = 4096
 class _Item:
     __slots__ = ("classifier", "vector", "on_done", "enqueued_ns")
 
+    #: single-row items carry a vector, never a row block
+    rows = None
+
     def __init__(self, classifier, vector, on_done,
                  enqueued_ns: int = 0) -> None:
         self.classifier = classifier
         self.vector = vector
+        self.on_done = on_done
+        self.enqueued_ns = enqueued_ns
+
+
+class _BlockItem:
+    """A pre-packed f32 row block (the zero-decode stream path).
+
+    The block's rows ride through the same per-model grouping as
+    single-row items — its float32 buffer is lifted to float64 once
+    and concatenated with its group, never unpacked into Python
+    floats.  ``on_done(predictions, error)`` fires once for the whole
+    block.
+    """
+
+    __slots__ = ("classifier", "rows", "on_done", "enqueued_ns")
+
+    #: block items carry a row matrix, never a single vector
+    vector = None
+
+    def __init__(self, classifier, rows, on_done,
+                 enqueued_ns: int = 0) -> None:
+        self.classifier = classifier
+        self.rows = rows
         self.on_done = on_done
         self.enqueued_ns = enqueued_ns
 
@@ -161,6 +187,49 @@ class MicroBatcher:
             raise slot["error"]
         return slot["prediction"]
 
+    def submit_block(self, classifier, rows, on_done) -> None:
+        """Enqueue one pre-packed row block (the stream fast path).
+
+        *rows* is an ``(n, cols)`` float32 matrix whose buffer is
+        concatenated — not decoded — with whatever else coalesces for
+        the same model; ``on_done(predictions, error)`` fires once
+        with the block's prediction array (row order preserved).  A
+        block occupies one queue slot regardless of row count: the
+        queue bounds *scheduling units*, and a block is one.
+        """
+        if self._closing.is_set():
+            raise FleetError("micro-batcher is closed")
+        self._ensure_scheduler()
+        item = _BlockItem(classifier, rows, on_done,
+                          enqueued_ns=(time.perf_counter_ns()
+                                       if self._obs_queue_wait is not None
+                                       else 0))
+        try:
+            self._queue.put(item, timeout=self.submit_timeout)
+        except queue.Full:
+            raise FleetError(
+                f"micro-batch queue stayed full for "
+                f"{self.submit_timeout}s; the fleet is overloaded")
+        if self._closing.is_set():
+            self._drain_once()
+
+    def predict_block(self, classifier, rows, timeout: float = 30.0):
+        """Blocking convenience wrapper around :meth:`submit_block`."""
+        done = threading.Event()
+        slot: dict = {}
+
+        def on_done(predictions, error) -> None:
+            slot["predictions"], slot["error"] = predictions, error
+            done.set()
+
+        self.submit_block(classifier, rows, on_done)
+        if not done.wait(timeout):
+            raise FleetError(f"micro-batched block prediction timed "
+                             f"out after {timeout}s")
+        if slot["error"] is not None:
+            raise slot["error"]
+        return slot["predictions"]
+
     # -- scheduler side ----------------------------------------------------
 
     def _run(self) -> None:
@@ -195,29 +264,59 @@ class MicroBatcher:
             self._execute(batch)
 
     def _execute(self, batch: list) -> None:
-        """Group one drained batch by model and predict each group."""
+        """Group one drained batch by model and predict each group.
+
+        Single-row items assemble into one float64 matrix as before;
+        row blocks (:meth:`submit_block`) are lifted from their f32
+        buffers and concatenated in item order — one ``predict_batch``
+        per model either way, with predictions scattered back per
+        item.
+        """
         groups: dict = {}
+        total_rows = 0
         for item in batch:
             groups.setdefault(id(item.classifier), []).append(item)
+            total_rows += 1 if item.rows is None else len(item.rows)
         for items in groups.values():
             classifier = items[0].classifier
             try:
-                X = np.asarray([item.vector for item in items],
-                               dtype=np.float64)
+                if all(item.rows is None for item in items):
+                    X = np.asarray([item.vector for item in items],
+                                   dtype=np.float64)
+                else:
+                    parts = [
+                        item.rows.astype(np.float64)
+                        if item.rows is not None
+                        else np.asarray([item.vector],
+                                        dtype=np.float64)
+                        for item in items]
+                    X = (np.concatenate(parts) if len(parts) > 1
+                         else parts[0])
                 predictions = classifier.predict_batch(X)
             except Exception:
                 # a poisoned group (shape drift, concurrent evict+swap):
-                # fall back to per-row scoring so one bad row cannot
-                # fail its neighbours
+                # fall back to per-row / per-block scoring so one bad
+                # item cannot fail its neighbours
                 for item in items:
-                    self._complete_single(item)
+                    if item.rows is None:
+                        self._complete_single(item)
+                    else:
+                        self._complete_block(item)
                 continue
-            for item, prediction in zip(items, predictions):
-                self._finish(item, int(prediction), None)
+            offset = 0
+            for item in items:
+                if item.rows is None:
+                    self._finish(item, int(predictions[offset]), None)
+                    offset += 1
+                else:
+                    n = len(item.rows)
+                    self._finish(item, predictions[offset:offset + n],
+                                 None)
+                    offset += n
         with self._lock:
-            self._rows += len(batch)
+            self._rows += total_rows
             self._batches += 1
-            self._largest_batch = max(self._largest_batch, len(batch))
+            self._largest_batch = max(self._largest_batch, total_rows)
         queue_wait = self._obs_queue_wait
         if queue_wait is not None:
             drained_ns = time.perf_counter_ns()
@@ -225,7 +324,7 @@ class MicroBatcher:
                 if item.enqueued_ns:
                     queue_wait.record(
                         (drained_ns - item.enqueued_ns) / 1000.0)
-            self._obs_batch_rows.record(len(batch))
+            self._obs_batch_rows.record(total_rows)
 
     def _complete_single(self, item: _Item) -> None:
         try:
@@ -234,6 +333,16 @@ class MicroBatcher:
             self._finish(item, None, exc)
         else:
             self._finish(item, int(prediction), None)
+
+    def _complete_block(self, item: _BlockItem) -> None:
+        """Score one block alone (its group's combined batch failed)."""
+        try:
+            predictions = item.classifier.predict_batch(
+                item.rows.astype(np.float64))
+        except Exception as exc:
+            self._finish(item, None, exc)
+        else:
+            self._finish(item, predictions, None)
 
     @staticmethod
     def _finish(item: _Item, prediction, error) -> None:

@@ -56,9 +56,12 @@ from repro.api.protocol import (
     request_id,
 )
 from repro.api.wire import (
+    BINARY_V2_CODEC,
     CODEC_JSON,
     DEFAULT_CODECS,
+    NO_ID,
     CodecCounters,
+    PredictStream,
     WireSession,
     decode_json_raw,
     flood_frame,
@@ -173,6 +176,10 @@ class RequestEngine:
         # instrument sites resolve metrics once and cache the object,
         # so the per-request path never takes the registry lock
         self._metric_cache: dict = {}
+        # the hot-path triple (score latency, bytes in, bytes out) per
+        # codec: one interned-string dict hit per scoring request
+        # instead of three tuple-keyed lookups (see observe_request)
+        self._hot_cache: dict = {}
         #: set by the owning daemon once a drain begins; checked on
         #: both the slow path (:meth:`handle`) and the coalescing fast
         #: path (:meth:`fast_path`), which bypasses handle entirely
@@ -247,35 +254,80 @@ class RequestEngine:
             self._metric_cache[key] = hist
         return hist
 
+    def _hot_metrics(self, codec: str):
+        """The pre-resolved (latency, bytes-in, bytes-out) triple for
+        plain scoring requests under *codec* — the hot-path shape."""
+        trio = self._hot_cache.get(codec)
+        if trio is None:
+            trio = (self.latency_histogram("score", codec, "default"),
+                    self._size_histogram("in", codec),
+                    self._size_histogram("out", codec))
+            self._hot_cache[codec] = trio
+        return trio
+
+    def prime_observability(self, codecs) -> None:
+        """Resolve the hot-path metric handles for every offered codec.
+
+        Called once at transport start (connection setup cost, not
+        per-request): after it, :meth:`observe_request` on a scoring
+        request is one dict hit plus the records themselves — never a
+        registry lock, never a label-tuple build.
+        """
+        if self.obs is None:
+            return
+        for name in codecs:
+            self._hot_metrics(name)
+
     def observe_request(self, request, codec: str, started_ns: int,
                         bytes_in: int | None = None,
-                        bytes_out: int | None = None) -> None:
+                        bytes_out: int | None = None,
+                        ended_ns: int | None = None) -> None:
         """Record one answered request: latency, sizes, slow log.
 
         Called by every transport with the codec it spoke and the
         ``perf_counter_ns`` reading it took at ingress; a no-op on
         uninstrumented engines, so transports need no guard of their
-        own beyond skipping the clock read.
+        own beyond skipping the clock read.  Transports that already
+        took an egress clock reading pass it as *ended_ns* so the
+        request costs no extra clock call here.
         """
         if self.obs is None:
             return
-        elapsed_us = (time.perf_counter_ns() - started_ns) / 1000.0
-        verb, model = "score", "default"
-        if isinstance(request, dict):
+        if ended_ns is None:
+            ended_ns = time.perf_counter_ns()
+        elapsed_us = (ended_ns - started_ns) / 1000.0
+        verb = model = None
+        if type(request) is dict:
             cmd = request.get("cmd")
             if cmd is not None:
                 verb = str(cmd)
             spec = request.get("model")
             if spec is not None:
                 model = str(spec)
-        self.latency_histogram(verb, codec, model).record(elapsed_us)
+        if verb is None and model is None:
+            # the hot shape (a scoring request on the default model,
+            # including decoded PredictStreams): pre-resolved handles
+            latency, size_in, size_out = self._hot_metrics(codec)
+        else:
+            verb = verb or "score"
+            model = model or "default"
+            latency = self.latency_histogram(verb, codec, model)
+            size_in = size_out = None
+        latency.record(elapsed_us)
         if bytes_in is not None:
-            self._size_histogram("in", codec).record(bytes_in)
+            (size_in if size_in is not None
+             else self._size_histogram("in", codec)).record(bytes_in)
         if bytes_out is not None:
-            self._size_histogram("out", codec).record(bytes_out)
-        if self.tracer is not None:
-            self.tracer.observe_slow(elapsed_us, verb, codec=codec,
-                                     model=model)
+            (size_out if size_out is not None
+             else self._size_histogram("out", codec)).record(bytes_out)
+        tracer = self.tracer
+        if (tracer is not None and tracer.slow_request_us
+                and elapsed_us >= tracer.slow_request_us):
+            # threshold inlined: the common (fast-request) case skips
+            # the call and its keyword packing entirely
+            tracer.observe_slow(elapsed_us, verb or "score",
+                                codec=codec,
+                                model=model or "default")
 
     def close_observability(self) -> None:
         """Flush buffered trace events (called off the serving paths)."""
@@ -394,6 +446,8 @@ class RequestEngine:
             return wire.encode(decode_error)
         if request is None:
             return None
+        if type(request) is PredictStream:
+            return self.respond_stream(request)
         hello = wire.negotiate(request)
         if hello is not None:
             return hello
@@ -407,31 +461,44 @@ class RequestEngine:
     def _respond_observed(self, raw: bytes,
                           wire: WireSession) -> bytes | None:
         """:meth:`respond` with telemetry: byte-identical frames, plus
-        latency/size metrics and (sampled) decode/predict/encode spans."""
+        latency/size metrics and (sampled) decode/predict/encode spans.
+
+        When tracing is off (the common case) the whole turn costs two
+        clock readings — ingress and egress; the span-boundary readings
+        only happen on connections that can actually be sampled.
+        """
         started = time.perf_counter_ns()
+        tracer = self.tracer
+        tracing = tracer is not None and tracer.sampling
         request, decode_error = wire.decode(raw)
-        decoded_at = time.perf_counter_ns()
+        decoded_at = time.perf_counter_ns() if tracing else 0
         if decode_error is not None:
             return wire.encode(decode_error)
         if request is None:
             return None
+        if type(request) is PredictStream:
+            encoded = self.respond_stream(request)
+            self.observe_request(request, wire.codec.name, started,
+                                 bytes_in=len(raw),
+                                 bytes_out=len(encoded))
+            return encoded
         hello = wire.negotiate(request)
         if hello is not None:
             return hello
-        tracer = self.tracer
-        sampled = tracer is not None and tracer.sample()
+        sampled = tracing and tracer.sample()
         try:
             frame = self.handle(request)
-            handled_at = time.perf_counter_ns()
+            handled_at = time.perf_counter_ns() if tracing else 0
             encoded = wire.encode(frame)
         except Exception as exc:
-            handled_at = time.perf_counter_ns()
+            handled_at = time.perf_counter_ns() if tracing else 0
             encoded = wire.encode(error_frame(ERROR_INTERNAL,
                                               f"internal error: {exc}",
                                               request_id(request)))
         done_at = time.perf_counter_ns()
         self.observe_request(request, wire.codec.name, started,
-                             bytes_in=len(raw), bytes_out=len(encoded))
+                             bytes_in=len(raw), bytes_out=len(encoded),
+                             ended_ns=done_at)
         if sampled:
             tracer.complete("decode", started, decoded_at,
                             codec=wire.codec.name)
@@ -569,6 +636,158 @@ class RequestEngine:
                                 time.perf_counter_ns(),
                                 rows=len(group))
 
+    # -- the zero-decode stream path ---------------------------------------
+
+    @staticmethod
+    def _stream_errors(stream: PredictStream, code: str,
+                       message: str) -> list:
+        """One typed error frame per stream row (same message each)."""
+        return [error_frame(code, message,
+                            int(rid) if rid != NO_ID else None)
+                for rid in stream.ids]
+
+    def stream_fast(self, stream: PredictStream):
+        """Classify a decoded :class:`PredictStream` for coalesced
+        scoring — the stream twin of :meth:`fast_path`.
+
+        Returns ``("fast", classifier)`` when the whole block can be
+        scored against the resident default model, or
+        ``("error", frames)`` with one typed error frame per row id
+        (draining refusals, no resident default, column mismatch) —
+        every id is always answered.
+        """
+        if self.draining:
+            return ("error", self._stream_errors(
+                stream, ERROR_DRAINING,
+                "server is draining and accepts no new scoring "
+                "requests; retry on another shard"))
+        classifier = self._default_classifier
+        if classifier is None and self.fleet is not None \
+                and hasattr(self.fleet, "pool"):
+            # peek, never get: resolving the default must not block an
+            # IO thread on an artifact load (prime() pins it at start)
+            try:
+                classifier = self.fleet.pool.peek(None)
+            except FleetError:
+                classifier = None
+        if classifier is None:
+            return ("error", self._stream_errors(
+                stream, ERROR_BAD_REQUEST,
+                "no default model is available to score a stream "
+                "frame"))
+        cols = stream.rows.shape[1]
+        if cols != len(classifier.feature_names_):
+            return ("error", self._stream_errors(
+                stream, ERROR_BAD_REQUEST,
+                f"stream rows carry {cols} features; the default "
+                f"model expects {len(classifier.feature_names_)}"))
+        return ("fast", classifier)
+
+    def execute_stream(self, blocks, emit) -> None:
+        """Score coalesced stream blocks; answer through *emit*.
+
+        *blocks* are ``(token, stream, classifier)`` tuples;
+        ``emit(token, encoded, n_rows)`` is called with one or more
+        encoded response frames per block, answering each of its
+        ``n_rows`` ids exactly once.  The f32 payloads of blocks
+        sharing a classifier are concatenated as raw buffers and
+        lifted to float64 **once** per coalesced batch — no Python
+        floats anywhere (the zero-decode path) — then the predictions
+        are scatter-gathered back into one packed PREDICTIONS_STREAM
+        frame per block.  A poisoned batch falls back to per-row
+        scoring so one bad row cannot fail its neighbours.
+
+        Responses are encoded by the v2 codec by construction: only
+        :class:`repro.api.wire.BinaryV2Codec` can have decoded a
+        :class:`PredictStream`, and (like the slow path) the answer
+        speaks the codec its request arrived under.
+        """
+        groups: dict = {}
+        for block in blocks:
+            groups.setdefault(id(block[2]), []).append(block)
+        for group in groups.values():
+            classifier = group[0][2]
+            if len(group) == 1:
+                X = group[0][1].rows.astype(np.float64)
+            else:
+                X = np.concatenate(
+                    [stream.rows for _, stream, _ in group]).astype(
+                        np.float64)
+            try:
+                predictions = classifier.predict_batch(X)
+            except Exception:
+                for token, stream, clf in group:
+                    emit(token, self._stream_fallback(stream, clf),
+                         len(stream))
+                continue
+            predictions = np.asarray(predictions)
+            offset = 0
+            for token, stream, _ in group:
+                n = len(stream)
+                emit(token, BINARY_V2_CODEC.encode_predictions_stream(
+                    stream.ids, predictions[offset:offset + n]), n)
+                offset += n
+
+    def _stream_fallback(self, stream: PredictStream,
+                         classifier) -> bytes:
+        """Per-row scoring for a poisoned stream block.
+
+        Rows that still score are gathered into one packed stream
+        response; rows that fail draw typed embedded error frames —
+        every id answered exactly once, concatenated into one blob.
+        """
+        chunks: list = []
+        good_ids: list = []
+        good_predictions: list = []
+        for rid, row in zip(stream.ids.tolist(), stream.rows):
+            req_id = rid if rid != NO_ID else None
+            try:
+                prediction = classifier.predict(
+                    row.astype(np.float64).tolist())
+            except (MLError, TypeError, ValueError) as exc:
+                chunks.append(BINARY_V2_CODEC.encode_response(
+                    error_frame(ERROR_BAD_REQUEST, str(exc), req_id)))
+            except Exception as exc:
+                chunks.append(BINARY_V2_CODEC.encode_response(
+                    error_frame(ERROR_INTERNAL,
+                                f"internal error: {exc}", req_id)))
+            else:
+                good_ids.append(rid)
+                good_predictions.append(int(prediction))
+        if good_ids:
+            chunks.append(BINARY_V2_CODEC.encode_predictions_stream(
+                good_ids, good_predictions))
+        return b"".join(chunks)
+
+    def respond_stream(self, stream: PredictStream) -> bytes:
+        """Answer one :class:`PredictStream` synchronously.
+
+        The threaded/inline twin of the event loop's coalesced stream
+        execution: same validation, same frames.  When the fleet runs
+        a live micro-batcher the block rides through it (coalescing
+        with other connections' rows — see
+        :meth:`repro.api.fleet.batching.MicroBatcher.submit_block`);
+        otherwise it scores inline.
+        """
+        verdict = self.stream_fast(stream)
+        if verdict[0] == "error":
+            return b"".join(BINARY_V2_CODEC.encode_response(frame)
+                            for frame in verdict[1])
+        classifier = verdict[1]
+        batcher = (getattr(self.fleet, "batcher", None)
+                   if self.fleet is not None else None)
+        try:
+            if batcher is not None and batcher.is_running:
+                predictions = batcher.predict_block(classifier,
+                                                    stream.rows)
+            else:
+                predictions = classifier.predict_batch(
+                    stream.rows.astype(np.float64))
+        except Exception:
+            return self._stream_fallback(stream, classifier)
+        return BINARY_V2_CODEC.encode_predictions_stream(stream.ids,
+                                                         predictions)
+
 
 def serve_lines(process, stdin=None, stdout=None) -> int:
     """Drive a ``line -> response | None`` handler over stdio.
@@ -629,6 +848,10 @@ class ThreadedServer:
         # the stop flag even on platforms where closing a listener does
         # not wake a blocked accept()
         self.listener.settimeout(0.5)
+        # stream frames score the pinned default model and the metric
+        # handles resolve once — both off the per-request path
+        self.engine.prime()
+        self.engine.prime_observability(self.codecs)
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers,
             thread_name_prefix="repro-score",
@@ -851,12 +1074,16 @@ class EventLoopServer:
         self._fast_batches = 0
         self._largest_fast_batch = 0
         self._slow_requests = 0
+        self._stream_frames = 0
+        self._stream_rows = 0
         # telemetry handles, resolved once in start() when the engine
         # carries a registry (None otherwise: zero overhead)
         self._obs_queue_wait = None
         self._obs_fast_batch = None
         self._obs_fast_latency = None
         self._obs_loop_lag = None
+        self._obs_stream_rows = None
+        self._obs_stream_latency = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -877,6 +1104,16 @@ class EventLoopServer:
                 "repro_request_latency_us", verb="score",
                 codec="coalesced", model="default")
             self._obs_loop_lag = obs.gauge("repro_loop_lag_us")
+            # the stream path: rows per coalesced stream execution and
+            # the per-row share of its service time (labelled "stream"
+            # — a chunk may concatenate many connections' blocks)
+            self._obs_stream_rows = obs.histogram(
+                "repro_loop_stream_rows",
+                bounds=BATCH_BUCKET_BOUNDS_ROWS)
+            self._obs_stream_latency = obs.histogram(
+                "repro_request_latency_us", verb="score",
+                codec="stream", model="default")
+        self.engine.prime_observability(self.codecs)
         self._executor = ThreadPoolExecutor(
             max_workers=self._workers, thread_name_prefix="repro-slow")
         self._thread = threading.Thread(target=self._run,
@@ -936,6 +1173,8 @@ class EventLoopServer:
                                     if fast_batches else 0.0),
                 "largest_fast_batch": self._largest_fast_batch,
                 "slow_requests": self._slow_requests,
+                "stream_frames": self._stream_frames,
+                "stream_rows": self._stream_rows,
                 "max_batch": self.max_batch,
                 "codec": self._codec_counters.snapshot(),
             }
@@ -964,20 +1203,27 @@ class EventLoopServer:
                     except OSError:
                         pass
                 fast: list = []
+                blocks: list = []
                 events = sel.select(timeout=0.5)
                 if self._stopping.is_set():
                     break
                 busy_from = (time.perf_counter_ns()
                              if lag_gauge is not None else 0)
-                self._dispatch(events, sel, fast)
+                self._dispatch(events, sel, fast, blocks)
                 # greedy top-up: whatever arrived while this round was
                 # being read joins the same batch — but never wait
-                while fast and len(fast) < self.max_batch:
+                while (fast or blocks) and len(fast) < self.max_batch \
+                        and len(blocks) < self.max_batch:
                     more = sel.select(timeout=0)
                     if not more:
                         break
-                    self._dispatch(more, sel, fast)
+                    self._dispatch(more, sel, fast, blocks)
                 self._drain_completions(sel)
+                if blocks:
+                    # stream blocks are already client-coalesced, so
+                    # they execute whole — re-chunking them to
+                    # max_batch would only add row copies
+                    self._execute_stream(blocks, sel)
                 while fast:
                     chunk, fast = fast[:self.max_batch], \
                         fast[self.max_batch:]
@@ -996,7 +1242,7 @@ class EventLoopServer:
                 pass
             sel.close()
 
-    def _dispatch(self, events, sel, fast) -> None:
+    def _dispatch(self, events, sel, fast, blocks) -> None:
         for key, mask in events:
             if key.fileobj is self.listener:
                 self._accept(sel)
@@ -1010,7 +1256,7 @@ class EventLoopServer:
                 if mask & selectors.EVENT_WRITE:
                     self._flush(conn, sel)
                 if mask & selectors.EVENT_READ and not conn.closed:
-                    self._read(conn, sel, fast)
+                    self._read(conn, sel, fast, blocks)
 
     def _accept(self, sel) -> None:
         while True:
@@ -1045,7 +1291,7 @@ class EventLoopServer:
             self._active = len(self._conns)
             self._codec_counters.fold(conn.wire)
 
-    def _read(self, conn, sel, fast) -> None:
+    def _read(self, conn, sel, fast, blocks) -> None:
         try:
             data = conn.sock.recv(RECV_BYTES)
         except (BlockingIOError, InterruptedError):
@@ -1060,7 +1306,7 @@ class EventLoopServer:
             # shutdown(SHUT_WR) client still reads all its responses
             tail = conn.wire.eof_tail()
             if tail is not None:
-                self._route(conn, tail, sel, fast)
+                self._route(conn, tail, sel, fast, blocks)
             conn.eof = True
             # drop read interest: a half-closed socket stays readable
             # forever and would spin the loop; completions wake it via
@@ -1078,7 +1324,7 @@ class EventLoopServer:
             raw = conn.wire.next_frame()
             if raw is None:
                 break
-            self._route(conn, raw, sel, fast)
+            self._route(conn, raw, sel, fast, blocks)
         # inline answers (decode/validation error frames) don't pass
         # through execute_fast or the completion queue: flush them now
         self._flush(conn, sel)
@@ -1094,7 +1340,7 @@ class EventLoopServer:
 
     # -- request routing ---------------------------------------------------
 
-    def _route(self, conn, raw: bytes, sel, fast) -> None:
+    def _route(self, conn, raw: bytes, sel, fast, blocks) -> None:
         tracer = self.engine.tracer
         sampled = (tracer is not None and tracer.sampling
                    and tracer.sample())
@@ -1108,6 +1354,15 @@ class EventLoopServer:
             self._stage(conn, conn.wire.encode(decode_error), sel)
             return
         if request is None:
+            return
+        if type(request) is PredictStream:
+            verdict = self.engine.stream_fast(request)
+            if verdict[0] == "error":
+                for frame in verdict[1]:
+                    self._stage(conn, conn.wire.encode(frame), sel)
+                return
+            conn.pending += len(request)
+            blocks.append((conn, request, verdict[1]))
             return
         hello = conn.wire.negotiate(request)
         if hello is not None:
@@ -1161,7 +1416,8 @@ class EventLoopServer:
                 done = time.perf_counter_ns()
                 queue_wait.record((started - submitted) / 1000.0)
                 engine.observe_request(request, codec.name, submitted,
-                                       bytes_out=len(encoded))
+                                       bytes_out=len(encoded),
+                                       ended_ns=done)
                 if sampled:
                     tracer.complete("queue", submitted, started,
                                     codec=codec.name)
@@ -1223,20 +1479,54 @@ class EventLoopServer:
                     tracer.complete("batch", opened, done,
                                     rows=len(chunk))
 
+    def _execute_stream(self, blocks, sel) -> None:
+        """Score this round's stream blocks in one coalesced call."""
+        stream_latency = self._obs_stream_latency
+        opened = (time.perf_counter_ns()
+                  if stream_latency is not None else 0)
+
+        def emit(conn, encoded, n_rows) -> None:
+            conn.pending -= n_rows
+            self._stage(conn, encoded, sel, requests=n_rows)
+
+        self.engine.execute_stream(blocks, emit)
+        touched = {block[0] for block in blocks}
+        for conn in touched:
+            self._flush(conn, sel)
+            self._maybe_finish(conn, sel)
+        rows = sum(len(block[1]) for block in blocks)
+        self._fast_rows += rows
+        self._fast_batches += 1
+        self._stream_frames += len(blocks)
+        self._stream_rows += rows
+        self._largest_fast_batch = max(self._largest_fast_batch, rows)
+        if stream_latency is not None:
+            done = time.perf_counter_ns()
+            elapsed_us = (done - opened) / 1000.0
+            self._obs_stream_rows.record(rows)
+            # every row of the coalesced stream chunk shares one
+            # service time, exactly like the per-row fast path
+            stream_latency.record_many(elapsed_us, rows)
+            tracer = self.engine.tracer
+            if tracer is not None:
+                tracer.observe_slow(elapsed_us, "score", codec="stream",
+                                    rows=rows)
+
     # -- writing -----------------------------------------------------------
 
-    def _stage(self, conn, encoded, sel) -> None:
+    def _stage(self, conn, encoded, sel, requests: int = 1) -> None:
         # loop-thread only (completions are staged by the loop after
         # draining the queue), so the counter needs no lock.  *encoded*
         # is codec bytes; str is accepted for embedders still staging
-        # JSON text
+        # JSON text.  *requests* is how many protocol requests the blob
+        # answers (a stream response answers its whole row block)
         if conn.closed:
             return
         if isinstance(encoded, str):
             encoded = encoded.encode("utf-8")
         conn.wbuf += encoded
         conn.wire.count_out(len(encoded))
-        self._requests_served += 1
+        self._requests_served += requests
 
     def _flush(self, conn, sel) -> None:
         if conn.closed or not conn.wbuf:

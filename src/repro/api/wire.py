@@ -28,6 +28,30 @@ hardcoding JSON framing.  Two codecs are registered:
   Anything that is not a hot-path predict travels as an embedded JSON
   frame (0x00), so admin verbs, model routing and every error shape
   work identically under both codecs.
+* ``binary-v2`` — a strict superset of ``binary-v1`` adding multi-row
+  *streaming* frames for the pipelined hot path::
+
+  ====== =================== =========================================
+  type   name                payload
+  ====== =================== =========================================
+  0x03   PREDICT_STREAM      u32 count | u32 cols | i64 ids[count]
+                             | f32[count*cols] rows
+  0x83   PREDICTIONS_STREAM  u32 count | i64 ids[count]
+                             | i32 preds[count]
+  ====== =================== =========================================
+
+  A PREDICT_STREAM packs *count* **independent** single-row requests
+  (one id + one f32 row each) into one frame, so a pipelined client
+  flushes its whole in-flight window with one send instead of one
+  frame (and one syscall) per row.  The server decodes it to a
+  :class:`PredictStream` — two ``np.frombuffer`` views, never Python
+  floats — and answers each coalesced chunk with packed
+  PREDICTIONS_STREAM frames scatter-gathered by request id.  Rows that
+  fail validation are answered individually as embedded JSON error
+  frames; the response streams carry only successes, so every id is
+  answered exactly once either way.  Stream requests always score the
+  connection's *default* model — model-routed rows keep using the
+  per-request v1 frames, exactly like v1's PREDICT fast path.
 
 Codecs are negotiated per connection: a client opens with the JSON
 request ``{"cmd": "hello", "codecs": ["binary-v1"]}`` and the server
@@ -65,10 +89,11 @@ from repro.api.protocol import (
 
 CODEC_JSON = "json"
 CODEC_BINARY = "binary-v1"
+CODEC_BINARY_V2 = "binary-v2"
 
 #: codecs a server offers by default, in server preference order.  The
 #: JSON codec is always the pre-negotiation state and the fallback.
-DEFAULT_CODECS = (CODEC_BINARY, CODEC_JSON)
+DEFAULT_CODECS = (CODEC_BINARY_V2, CODEC_BINARY, CODEC_JSON)
 
 #: binary frame header: u32 payload length (LE) + u8 frame type.
 HEADER = struct.Struct("<IB")
@@ -77,14 +102,18 @@ _U32 = struct.Struct("<I")
 FRAME_JSON = 0x00
 FRAME_PREDICT = 0x01
 FRAME_BATCH = 0x02
+FRAME_PREDICT_STREAM = 0x03
 FRAME_PREDICTION = 0x81
 FRAME_PREDICTIONS = 0x82
+FRAME_PREDICTIONS_STREAM = 0x83
 
 _PREDICT_HEAD = struct.Struct("<qI")    # id, n_features
 _BATCH_HEAD = struct.Struct("<qII")     # id, rows, cols
 _PREDICTION_FULL = struct.Struct("<IBqi")  # header + id + prediction
 _PREDICTION_BODY = struct.Struct("<qi")
 _PREDICTIONS_HEAD = struct.Struct("<qI")   # id, n
+_STREAM_HEAD = struct.Struct("<II")        # count, cols
+_PSTREAM_HEAD = struct.Struct("<I")        # count
 
 #: the i64 sentinel meaning "this request carried no id".
 NO_ID = -(2 ** 63)
@@ -370,9 +399,120 @@ class BinaryCodec:
         raise ValueError(f"unknown binary frame type 0x{ftype:02x}")
 
 
+class PredictStream:
+    """A decoded ``FRAME_PREDICT_STREAM``: N independent single-row
+    requests that never became Python objects.
+
+    ``ids`` is an ``<i8`` array of per-row request ids and ``rows`` a
+    ``(count, cols)`` ``<f4`` matrix — both zero-copy
+    ``np.frombuffer`` views over the received frame, so decoding a
+    stream costs two buffer views regardless of row count.  The
+    engine's stream fast path lifts ``rows`` to float64 **once per
+    coalesced batch** (exact: every f32 is representable) and answers
+    through packed :meth:`BinaryV2Codec.encode_predictions_stream`
+    frames paired back by id.
+    """
+
+    __slots__ = ("ids", "rows")
+
+    def __init__(self, ids, rows) -> None:
+        self.ids = ids
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class BinaryV2Codec(BinaryCodec):
+    """``binary-v1`` plus multi-row streaming frames (pipelined path).
+
+    Every v1 frame round-trips identically — a v2 connection sending
+    only v1 frames is byte-for-byte a v1 connection — so the codec
+    subclasses :class:`BinaryCodec` and adds exactly the two stream
+    frame types.
+    """
+
+    name = CODEC_BINARY_V2
+
+    # -- server side -------------------------------------------------------
+
+    def decode_request(self, raw: bytes):
+        if raw[0] != FRAME_PREDICT_STREAM:
+            return super().decode_request(raw)
+        payload = memoryview(raw)[1:]
+        try:
+            count, cols = _STREAM_HEAD.unpack_from(payload)
+            expected = _STREAM_HEAD.size + 8 * count + 4 * count * cols
+            if count < 1:
+                raise ValueError(
+                    "PREDICT_STREAM must carry at least one row")
+            if len(payload) != expected:
+                raise ValueError(
+                    f"PREDICT_STREAM declares {count}x{cols} but "
+                    f"carries {len(payload) - _STREAM_HEAD.size} "
+                    f"payload bytes")
+        except (struct.error, ValueError) as exc:
+            return None, error_frame(
+                ERROR_INVALID_FRAME,
+                f"malformed binary frame "
+                f"(type 0x{FRAME_PREDICT_STREAM:02x}): {exc}")
+        ids = np.frombuffer(payload, dtype="<i8", count=count,
+                            offset=_STREAM_HEAD.size)
+        rows = np.frombuffer(
+            payload, dtype="<f4", count=count * cols,
+            offset=_STREAM_HEAD.size + 8 * count).reshape(count, cols)
+        return PredictStream(ids, rows), None
+
+    def encode_predictions_stream(self, ids, predictions) -> bytes:
+        """One PREDICTIONS_STREAM from parallel id/prediction arrays."""
+        id_arr = np.ascontiguousarray(ids, dtype="<i8")
+        pred_arr = np.ascontiguousarray(predictions, dtype="<i4")
+        body = id_arr.tobytes() + pred_arr.tobytes()
+        return (HEADER.pack(_PSTREAM_HEAD.size + len(body),
+                            FRAME_PREDICTIONS_STREAM)
+                + _PSTREAM_HEAD.pack(id_arr.size) + body)
+
+    # -- client side -------------------------------------------------------
+
+    def encode_predict_stream(self, ids, rows) -> bytes:
+        """One PREDICT_STREAM from an id array + (n, cols) f32 matrix.
+
+        Built straight from ``(req_id, row)`` arrays — the pipelined
+        client never constructs per-request dicts under this codec.
+        """
+        id_arr = np.ascontiguousarray(ids, dtype="<i8")
+        row_arr = np.ascontiguousarray(rows, dtype="<f4")
+        body = id_arr.tobytes() + row_arr.tobytes()
+        return (HEADER.pack(_STREAM_HEAD.size + len(body),
+                            FRAME_PREDICT_STREAM)
+                + _STREAM_HEAD.pack(row_arr.shape[0], row_arr.shape[1])
+                + body)
+
+    def decode_response(self, raw: bytes):
+        if raw[0] != FRAME_PREDICTIONS_STREAM:
+            return super().decode_response(raw)
+        payload = memoryview(raw)[1:]
+        try:
+            count, = _PSTREAM_HEAD.unpack_from(payload)
+        except struct.error as exc:
+            raise ValueError(f"truncated binary frame: {exc}") from exc
+        if len(payload) != _PSTREAM_HEAD.size + 12 * count:
+            raise ValueError(
+                f"PREDICTIONS_STREAM declares {count} entries but "
+                f"carries {len(payload) - _PSTREAM_HEAD.size} bytes")
+        ids = np.frombuffer(payload, dtype="<i8", count=count,
+                            offset=_PSTREAM_HEAD.size)
+        predictions = np.frombuffer(
+            payload, dtype="<i4", count=count,
+            offset=_PSTREAM_HEAD.size + 8 * count)
+        return {"ok": True, "stream": (ids, predictions)}
+
+
 JSON_CODEC = JsonCodec()
 BINARY_CODEC = BinaryCodec()
-CODECS = {CODEC_JSON: JSON_CODEC, CODEC_BINARY: BINARY_CODEC}
+BINARY_V2_CODEC = BinaryV2Codec()
+CODECS = {CODEC_JSON: JSON_CODEC, CODEC_BINARY: BINARY_CODEC,
+          CODEC_BINARY_V2: BINARY_V2_CODEC}
 
 
 def get_codec(name: str):
@@ -467,7 +607,11 @@ class WireSession:
         request, error = self.codec.decode_request(raw)
         if request is not None or error is not None:
             name = self.codec.name
-            self.requests[name] = self.requests.get(name, 0) + 1
+            # a stream frame carries N independent requests; counting
+            # rows keeps the per-codec request totals comparable across
+            # framing styles
+            n = (len(request) if type(request) is PredictStream else 1)
+            self.requests[name] = self.requests.get(name, 0) + n
         if error is not None and self.codec.name != CODEC_JSON:
             # a malformed frame inside a length-prefixed stream means
             # client and server disagree about the protocol; answer

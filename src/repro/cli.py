@@ -526,10 +526,10 @@ def main(argv=None) -> int:
                           "drain/restart' (daemon mode)")
     srv.add_argument("--codec", choices=("auto", "json"), default="auto",
                      help="wire codecs offered to hello negotiation: "
-                          "auto offers the binary codec with JSON "
-                          "fallback, json pins JSON-lines only "
-                          "(daemon mode; stdin/stdout is always "
-                          "JSON-lines)")
+                          "auto offers the binary codecs (v2 stream "
+                          "frames and v1) with JSON fallback, json "
+                          "pins JSON-lines only (daemon mode; "
+                          "stdin/stdout is always JSON-lines)")
     _add_dataset_opts(srv)
 
     flt = sub.add_parser(

@@ -505,6 +505,23 @@ class TestCodecSymmetry:
                           root=str(tmp_path))
         assert report.findings == []
 
+    def test_stream_frame_pair_is_inside_rule_coverage(self, tmp_path):
+        """Deleting binary-v2's decoder branch must fire RPL005 — the
+        new stream FRAME_* constants are tracked by the rule, not
+        silently skipped (so the clean run above means something)."""
+        with open(os.path.join(API_DIR, "wire.py"),
+                  encoding="utf-8") as f:
+            source = f.read()
+        mutated = source.replace(
+            "if raw[0] != FRAME_PREDICTIONS_STREAM:",
+            "if raw[0] != 0x83:")
+        assert mutated != source
+        (tmp_path / "wire.py").write_text(mutated)
+        report = run_lint([str(tmp_path)], select="RPL005",
+                          root=str(tmp_path))
+        assert any("FRAME_PREDICTIONS_STREAM" in f.message
+                   for f in report.findings)
+
 
 # --------------------------------------------------------------- waivers
 

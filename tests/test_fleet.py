@@ -239,6 +239,57 @@ class TestMicroBatcher:
         assert [p for p, _ in answered] == expected
         assert all(err is None for _, err in answered)
 
+    def test_predict_block_matches_direct(self, tree_clf, tiny_dataset):
+        X = tiny_dataset.matrix(tree_clf.feature_names_)
+        block = np.ascontiguousarray(X, dtype="<f4")
+        with MicroBatcher(max_batch=4, max_delay_us=200) as batcher:
+            got = batcher.predict_block(tree_clf, block)
+        assert [int(p) for p in got] == \
+            [int(p) for p in tree_clf.predict_batch(
+                block.astype(np.float64))]
+
+    def test_blocks_and_singles_coalesce_in_order(self, tree_clf,
+                                                  tiny_dataset):
+        """A block and single rows sharing one coalesced batch scatter
+        back to their own callers, in item order."""
+        X = tiny_dataset.matrix(tree_clf.feature_names_)
+        block = np.ascontiguousarray(X, dtype="<f4")
+        expected = [int(p) for p in tree_clf.predict_batch(
+            block.astype(np.float64))]
+        batcher = MicroBatcher(max_batch=256, max_delay_us=5000)
+        results: dict = {}
+        lock = threading.Lock()
+
+        def score_block() -> None:
+            got = [int(p) for p in
+                   batcher.predict_block(tree_clf, block)]
+            with lock:
+                results["block"] = got
+
+        def score_singles() -> None:
+            got = [batcher.predict(tree_clf, list(row)) for row in X]
+            with lock:
+                results["singles"] = got
+
+        threads = [threading.Thread(target=score_block),
+                   threading.Thread(target=score_singles)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        batcher.close()
+        assert results == {"block": expected, "singles": expected}
+        assert batcher.stats()["rows"] == 2 * len(X)
+
+    def test_submit_block_after_close_raises(self, tree_clf,
+                                             tiny_dataset):
+        X = np.ascontiguousarray(
+            tiny_dataset.matrix(tree_clf.feature_names_), dtype="<f4")
+        batcher = MicroBatcher()
+        batcher.close()
+        with pytest.raises(FleetError, match="closed"):
+            batcher.submit_block(tree_clf, X, lambda p, e: None)
+
     def test_submit_after_close_raises(self, tree_clf, tiny_dataset):
         X = tiny_dataset.matrix(tree_clf.feature_names_)
         batcher = MicroBatcher()

@@ -15,6 +15,7 @@ from repro.api import (
     ScoringDaemon,
 )
 from repro.api.protocol import (
+    ERROR_BAD_REQUEST,
     ERROR_INVALID_FRAME,
     ERROR_TOO_LARGE,
     MAX_REQUEST_BYTES,
@@ -23,15 +24,20 @@ from repro.api.protocol import (
 )
 from repro.api.wire import (
     BINARY_CODEC,
+    BINARY_V2_CODEC,
     CODEC_BINARY,
+    CODEC_BINARY_V2,
     CODEC_JSON,
     DEFAULT_CODECS,
     FRAME_BATCH,
     FRAME_JSON,
     FRAME_PREDICT,
+    FRAME_PREDICT_STREAM,
+    FRAME_PREDICTIONS_STREAM,
     HEADER,
     JSON_CODEC,
     NO_ID,
+    PredictStream,
     WireSession,
     get_codec,
     merge_codec_stats,
@@ -406,6 +412,271 @@ class TestBinaryDaemon:
             assert section["requests"].get(CODEC_BINARY, 0) >= 1
             assert section["bytes_in"].get(CODEC_BINARY, 0) > 0
             assert section["bytes_out"].get(CODEC_BINARY, 0) > 0
+
+
+# -- binary-v2 stream frames -----------------------------------------------
+
+
+class TestBinaryV2StreamFrames:
+    """Raw-byte golden vectors for the 0x03/0x83 stream frames."""
+
+    def test_predict_stream_golden_bytes(self):
+        raw = BINARY_V2_CODEC.encode_predict_stream(
+            [7, 9], [[1.5, -2.0], [0.25, 4.0]])
+        expected = (
+            struct.pack("<IB", 8 + 16 + 16, FRAME_PREDICT_STREAM)
+            + struct.pack("<II", 2, 2)            # count, cols
+            + struct.pack("<qq", 7, 9)            # req ids
+            + struct.pack("<ffff", 1.5, -2.0, 0.25, 4.0)
+        )
+        assert raw == expected
+
+    def test_predict_stream_golden_decode(self):
+        payload = (
+            struct.pack("<II", 2, 2)
+            + struct.pack("<qq", 7, 9)
+            + struct.pack("<ffff", 1.5, -2.0, 0.25, 4.0)
+        )
+        request, error = BINARY_V2_CODEC.decode_request(
+            bytes([FRAME_PREDICT_STREAM]) + payload)
+        assert error is None
+        assert type(request) is PredictStream
+        assert len(request) == 2
+        assert request.ids.tolist() == [7, 9]
+        np.testing.assert_array_equal(
+            request.rows, np.asarray([[1.5, -2.0], [0.25, 4.0]],
+                                     dtype="<f4"))
+
+    def test_predictions_stream_golden_bytes(self):
+        raw = BINARY_V2_CODEC.encode_predictions_stream([7, 9], [3, 1])
+        expected = (
+            struct.pack("<IB", 4 + 16 + 8, FRAME_PREDICTIONS_STREAM)
+            + struct.pack("<I", 2)                # count
+            + struct.pack("<qq", 7, 9)            # req ids
+            + struct.pack("<ii", 3, 1)            # predictions
+        )
+        assert raw == expected
+
+    def test_predictions_stream_golden_decode(self):
+        payload = (struct.pack("<I", 2) + struct.pack("<qq", 7, 9)
+                   + struct.pack("<ii", 3, 1))
+        response = BINARY_V2_CODEC.decode_response(
+            bytes([FRAME_PREDICTIONS_STREAM]) + payload)
+        assert response["ok"] is True
+        ids, predictions = response["stream"]
+        assert ids.tolist() == [7, 9]
+        assert predictions.tolist() == [3, 1]
+
+    def test_stream_roundtrip_preserves_f32_bits(self):
+        rows = np.asarray(
+            [[np.float32(1) / 3, np.float32(-0.0)]], dtype="<f4")
+        raw = BINARY_V2_CODEC.encode_predict_stream([1], rows)
+        request, error = BINARY_V2_CODEC.decode_request(raw[4:])
+        assert error is None
+        assert request.rows.tobytes() == rows.tobytes()
+
+    def test_truncated_stream_payload_draws_invalid_frame(self):
+        good = BINARY_V2_CODEC.encode_predict_stream(
+            [1, 2], [[1.0, 2.0], [3.0, 4.0]])
+        _, error = BINARY_V2_CODEC.decode_request(good[4:-4])
+        assert error["code"] == ERROR_INVALID_FRAME
+
+    def test_zero_row_stream_draws_invalid_frame(self):
+        payload = struct.pack("<II", 0, 3)
+        _, error = BINARY_V2_CODEC.decode_request(
+            bytes([FRAME_PREDICT_STREAM]) + payload)
+        assert error["code"] == ERROR_INVALID_FRAME
+
+    def test_short_response_payload_raises(self):
+        good = BINARY_V2_CODEC.encode_predictions_stream([1, 2], [0, 0])
+        with pytest.raises(ValueError):
+            BINARY_V2_CODEC.decode_response(good[4:-4])
+
+    def test_v2_still_speaks_every_v1_frame(self):
+        raw = BINARY_V2_CODEC.encode_request(
+            {"id": 3, "features": [0.5, 1.25]})
+        request, error = BINARY_V2_CODEC.decode_request(raw[4:])
+        assert error is None
+        assert request == {"features": [0.5, 1.25], "id": 3}
+        raw = BINARY_V2_CODEC.encode_request({"cmd": "info", "id": 1})
+        assert raw[4] == FRAME_JSON
+
+    def test_wire_session_counts_stream_rows_as_requests(self):
+        wire = WireSession()
+        wire.negotiate({"cmd": "hello", "codecs": [CODEC_BINARY_V2]})
+        assert wire.codec is BINARY_V2_CODEC
+        wire.push(BINARY_V2_CODEC.encode_predict_stream(
+            [1, 2, 3], [[1.0], [2.0], [3.0]]))
+        request, error = wire.decode(wire.next_frame())
+        assert error is None and len(request) == 3
+        assert wire.requests == {CODEC_BINARY_V2: 3}
+
+
+# -- negotiated binary-v2 connections over real daemons --------------------
+
+
+class TestBinaryV2Daemon:
+    @pytest.mark.parametrize("fleet_mode", [False, True])
+    def test_mixed_codec_clients_byte_identical(
+            self, trained, tiny_dataset, unix_path, fleet_mode):
+        """Acceptance: json + v1 + v2 clients against one daemon score
+        f32-identical inputs to identical predictions, on both the
+        threaded and the event-loop transports."""
+        X = _f32(tiny_dataset.matrix(trained.feature_names_))
+        kwargs: dict = {"classifier": trained}
+        if fleet_mode:
+            from repro.api.fleet import MicroBatcher, ModelFleet, ModelPool
+
+            kwargs = {"fleet": ModelFleet(ModelPool(), MicroBatcher(),
+                                          default=trained)}
+        # three concurrent clients: the threaded transport parks one
+        # worker thread per live connection
+        with ScoringDaemon(socket_path=unix_path, workers=4, **kwargs):
+            with ScoringClient(socket_path=unix_path) as js, \
+                    ScoringClient(socket_path=unix_path,
+                                  codec=CODEC_BINARY) as v1, \
+                    ScoringClient(socket_path=unix_path,
+                                  codec=CODEC_BINARY_V2) as v2:
+                assert js.codec == CODEC_JSON
+                assert v1.codec == CODEC_BINARY
+                assert v2.codec == CODEC_BINARY_V2
+                expected = js.predict_pipelined(X, window=16)
+                assert v1.predict_pipelined(X, window=16) == expected
+                assert v2.predict_pipelined(X, window=16) == expected
+                assert v2.predict_batch(X) == js.predict_batch(X)
+                assert v2.predict(list(X[0])) == js.predict(list(X[0]))
+
+    def test_eventloop_counts_stream_frames_and_rows(
+            self, trained, tiny_dataset, unix_path):
+        """The coalesced zero-decode path actually runs: a pipelined v2
+        window must arrive as a few multi-row frames, not row frames."""
+        from repro.api.fleet import MicroBatcher, ModelFleet, ModelPool
+
+        X = _f32(tiny_dataset.matrix(trained.feature_names_))
+        fleet = ModelFleet(ModelPool(), MicroBatcher(), default=trained)
+        with ScoringDaemon(fleet=fleet, socket_path=unix_path,
+                           workers=2):
+            with ScoringClient(socket_path=unix_path,
+                               codec=CODEC_BINARY_V2) as client:
+                predictions = client.predict_pipelined(X, window=32)
+                from repro.api import AdminClient
+
+                server = AdminClient(client).stats()["server"]
+            assert predictions == [int(p) for p in
+                                   trained.predict_batch(X)]
+            assert server["stream_rows"] >= len(X)
+            assert 1 <= server["stream_frames"] < len(X)
+
+    def test_garbage_stream_frame_typed_error_then_teardown(
+            self, trained, unix_path):
+        """A truncated 0x03 frame yields one typed error and a clean
+        connection teardown — no partial answers, no hang."""
+        from repro.api.fleet import ModelFleet, ModelPool
+
+        fleet = ModelFleet(ModelPool(), default=trained)
+        with ScoringDaemon(fleet=fleet, socket_path=unix_path, workers=2):
+            sock = _connect(unix_path)
+            with sock:
+                sock.sendall(b'{"cmd": "hello", "id": 1, '
+                             b'"codecs": ["binary-v2"]}\n')
+                assert json.loads(_recv_line(sock))["codec"] == \
+                    CODEC_BINARY_V2
+                # declares 3 rows x 4 cols but ships 4 payload bytes
+                sock.sendall(HEADER.pack(8 + 4, FRAME_PREDICT_STREAM)
+                             + struct.pack("<II", 3, 4) + b"\0\0\0\0")
+                frame = _recv_binary_frame(sock)
+                assert frame[0] == FRAME_JSON
+                error = json.loads(frame[1:])
+                assert error["ok"] is False
+                assert error["code"] == ERROR_INVALID_FRAME
+                assert sock.recv(1) == b""  # clean teardown
+
+    def test_column_mismatch_answers_every_row_id(
+            self, trained, unix_path):
+        """A well-formed stream whose rows don't match the model's
+        feature count gets one typed error per req id — every id is
+        answered, nothing is silently dropped."""
+        from repro.api.fleet import ModelFleet, ModelPool
+
+        fleet = ModelFleet(ModelPool(), default=trained)
+        with ScoringDaemon(fleet=fleet, socket_path=unix_path, workers=2):
+            sock = _connect(unix_path)
+            with sock:
+                sock.sendall(b'{"cmd": "hello", '
+                             b'"codecs": ["binary-v2"]}\n')
+                _recv_line(sock)
+                sock.sendall(BINARY_V2_CODEC.encode_predict_stream(
+                    [11, 12], [[1.0, 2.0], [3.0, 4.0]]))
+                seen = set()
+                for _ in range(2):
+                    frame = _recv_binary_frame(sock)
+                    assert frame[0] == FRAME_JSON
+                    error = json.loads(frame[1:])
+                    assert error["ok"] is False
+                    assert error["code"] == ERROR_BAD_REQUEST
+                    seen.add(error["id"])
+                assert seen == {11, 12}
+
+    def test_pipelined_reconnect_renegotiates_v2(
+            self, trained, tiny_dataset, unix_path):
+        """Acceptance: a pipelined v2 client that loses its daemon
+        re-hellos on the fresh connection and stays on binary-v2."""
+        X = _f32(tiny_dataset.matrix(trained.feature_names_))
+        expected = [int(p) for p in trained.predict_batch(X)]
+        daemon = ScoringDaemon(trained, socket_path=unix_path, workers=2)
+        daemon.start()
+        try:
+            client = ScoringClient(socket_path=unix_path,
+                                   codec=CODEC_BINARY_V2,
+                                   reconnect_retries=4)
+            with client:
+                assert client.predict_pipelined(X) == expected
+                assert client.codec == CODEC_BINARY_V2
+                daemon.stop()
+                daemon = ScoringDaemon(trained, socket_path=unix_path,
+                                       workers=2)
+                daemon.start()
+                assert client.predict_pipelined(X) == expected
+                assert client.codec == CODEC_BINARY_V2
+        finally:
+            daemon.stop()
+
+    def test_v2_preference_downgrades_to_v1_server(
+            self, trained, tiny_dataset, unix_path):
+        """Against a server that only offers binary-v1, a v2-preferring
+        client lands on v1 and pipelined scoring still completes."""
+        X = _f32(tiny_dataset.matrix(trained.feature_names_))
+        with ScoringDaemon(trained, socket_path=unix_path, workers=2,
+                           codecs=(CODEC_BINARY, CODEC_JSON)):
+            with ScoringClient(socket_path=unix_path,
+                               codec=CODEC_BINARY_V2) as client:
+                assert client.codec == CODEC_BINARY
+                assert client.predict_pipelined(X) == \
+                    [int(p) for p in trained.predict_batch(X)]
+
+    def test_pipelined_restart_onto_json_only_finishes_all_rows(
+            self, trained, tiny_dataset, unix_path):
+        """If the replacement daemon negotiates away from binary-v2
+        mid-pipelining, leftover rows finish as classic frames with
+        identical predictions (same f32 inputs)."""
+        X = _f32(tiny_dataset.matrix(trained.feature_names_))
+        expected = [int(p) for p in trained.predict_batch(X)]
+        daemon = ScoringDaemon(trained, socket_path=unix_path, workers=2)
+        daemon.start()
+        try:
+            client = ScoringClient(socket_path=unix_path,
+                                   codec=CODEC_BINARY_V2,
+                                   reconnect_retries=4)
+            with client:
+                assert client.predict_pipelined(X) == expected
+                daemon.stop()
+                daemon = ScoringDaemon(trained, socket_path=unix_path,
+                                       workers=2, codecs=(CODEC_JSON,))
+                daemon.start()
+                assert client.predict_pipelined(X) == expected
+                assert client.codec == CODEC_JSON
+        finally:
+            daemon.stop()
 
 
 class TestReconnectRenegotiation:
